@@ -1,0 +1,67 @@
+"""Ablation benchmark: sequential vs vectorised chunk kernels.
+
+The vectorised conflict-free batch kernel is the package's
+single-machine realisation of the paper's chunk parallelism; this
+benchmark quantifies its advantage over the per-trial python loop and
+verifies the two produce identical states.
+"""
+
+from repro.experiments import ablations
+
+
+def test_kernel_ablation(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.run_kernel_ablation, rounds=1, iterations=1
+    )
+    assert result.identical_states
+    assert result.speedup > 2.0  # the data-parallel payoff
+    save_report("ablation_kernels", ablations.kernel_ablation_report(result))
+
+
+def test_rsm_trial_throughput(benchmark):
+    """Raw sequential-kernel throughput on the Ziff model (trials/s)."""
+    import numpy as np
+
+    from repro.core import Lattice
+    from repro.core.kernels import run_trials_sequential
+    from repro.core.rng import draw_types, make_rng
+    from repro.models import ziff_model
+
+    model = ziff_model()
+    lat = Lattice((100, 100))
+    comp = model.compile(lat)
+    rng = make_rng(0)
+    state = rng.integers(0, 3, lat.n_sites).astype(np.uint8)
+    n = 20000
+    sites = rng.integers(0, lat.n_sites, n).astype(np.intp)
+    types = draw_types(rng, comp.type_cum, n)
+
+    def run():
+        run_trials_sequential(state, comp, sites, types)
+
+    benchmark(run)
+
+
+def test_batch_kernel_throughput(benchmark):
+    """Raw vectorised-kernel throughput on a five-chunk batch."""
+    import numpy as np
+
+    from repro.core import Lattice
+    from repro.core.kernels import run_trials_batch
+    from repro.core.rng import draw_types, make_rng
+    from repro.models import ziff_model
+    from repro.partition import five_chunk_partition
+
+    model = ziff_model()
+    lat = Lattice((100, 100))
+    comp = model.compile(lat)
+    p5 = five_chunk_partition(lat)
+    rng = make_rng(0)
+    state = rng.integers(0, 3, lat.n_sites).astype(np.uint8)
+    chunk = p5.chunks[0]
+    types = draw_types(rng, comp.type_cum, chunk.size)
+
+    def run():
+        run_trials_batch(state, comp, chunk, types)
+
+    benchmark(run)

@@ -1,0 +1,27 @@
+"""Ablation benchmark: PNDCA chunk-selection strategies (section 5).
+
+Compares the four chunk schedules (ordered / random-order / random /
+weighted) on the oscillatory workload: accuracy (deviation from RSM)
+against throughput (the weighted schedule pays an enabling scan per
+draw).
+"""
+
+from repro.experiments import ablations
+
+
+def test_pndca_strategy_ablation(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.run_strategy_ablation, rounds=1, iterations=1
+    )
+    # all four schedules keep the dynamics in the oscillatory regime
+    # and none drifts catastrophically from RSM
+    for strategy, rmse in result.rmse.items():
+        assert rmse < 4 * result.null_rmse, (strategy, rmse, result.null_rmse)
+    # the weighted schedule pays for its enabling scans
+    assert (
+        result.trials_per_second["weighted"]
+        < result.trials_per_second["random-order"]
+    )
+    save_report(
+        "ablation_strategies", ablations.strategy_ablation_report(result)
+    )

@@ -1,0 +1,25 @@
+"""Benchmark: the Segers correctness criteria (section 6).
+
+RSM must satisfy both criteria (exponential waiting times, rate-ratio
+type selection); the NDCA's once-per-site sweep must fail criterion 1
+— the paper's stated reason CA methods deviate from the ME.
+"""
+
+from repro.ca import NDCA
+from repro.dmc import RSM
+from repro.experiments import criteria
+
+
+def test_segers_criteria(benchmark, save_report):
+    def run():
+        return [
+            criteria.run_criteria(RSM, until=400.0, seed=1),
+            criteria.run_criteria(NDCA, until=400.0, seed=1),
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rsm, ndca = results
+    assert rsm.criterion1_ok and rsm.criterion2_ok
+    assert not ndca.criterion1_ok
+    assert ndca.criterion2_ok  # the type *mix* stays right; timing doesn't
+    save_report("criteria", criteria.criteria_report(results))

@@ -1,0 +1,22 @@
+"""Benchmark: the fast-diffusion accuracy claim (section 6, closing).
+
+"If we consider very fast diffusion and small probabilities for
+chemical reactions in the cells, the deviations are so small that DMC
+and L-PNDCA give similar results" — verified on the pairing probe by
+sweeping the diffusion rate and comparing the steady-state
+nearest-neighbour correlation between RSM and the full-parallelisation
+L-PNDCA configuration.
+"""
+
+from repro.experiments import fast_diffusion
+
+
+def test_fast_diffusion_accuracy(benchmark, save_report):
+    result = benchmark.pedantic(
+        fast_diffusion.run_fast_diffusion, rounds=1, iterations=1
+    )
+    # diffusion mixes the pairing correlation away ...
+    assert result.correlations_decay_with_diffusion
+    # ... and with it the chunked algorithm's deviation from DMC
+    assert result.deviation_shrinks
+    save_report("fast_diffusion", fast_diffusion.fast_diffusion_report(result))

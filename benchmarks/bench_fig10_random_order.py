@@ -1,0 +1,17 @@
+"""Fig. 10 benchmark: random chunk order at maximal L keeps oscillations.
+
+The paper's closing result: visiting all five chunks exactly once per
+step in random order with L = N/m (maximal work per chunk = full
+parallelisation) still yields oscillatory behaviour.
+"""
+
+from repro.experiments import fig10_random_order
+
+
+def test_fig10_random_order_keeps_oscillations(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig10_random_order.run_fig10, rounds=1, iterations=1
+    )
+    assert result.rsm.oscillation.oscillating
+    assert result.random_order_oscillates  # the paper's headline claim
+    save_report("fig10", fig10_random_order.fig10_report(result))

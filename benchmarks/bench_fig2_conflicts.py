@@ -1,0 +1,18 @@
+"""Fig. 2 benchmark: synchronous-update conflict detection on diffusion."""
+
+from repro.experiments import fig2_conflicts
+
+
+def test_fig2_conflicts(benchmark, save_report):
+    points = benchmark.pedantic(
+        fig2_conflicts.run_fig2,
+        kwargs=dict(densities=(0.1, 0.3, 0.5, 0.7), side=32, steps=50),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(p.discard_conserves for p in points)
+    assert all(p.unsafe_violates for p in points)
+    # conflicts grow with density (the Fig. 2 mechanism)
+    rates = [p.conflict_rate for p in points]
+    assert rates == sorted(rates)
+    save_report("fig2", fig2_conflicts.fig2_report(points))

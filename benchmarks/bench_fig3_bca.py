@@ -1,0 +1,10 @@
+"""Fig. 3 benchmark: the 1-d Block CA with shifting 3-site blocks."""
+
+from repro.experiments import fig3_bca
+
+
+def test_fig3_block_ca(benchmark, save_report):
+    result = benchmark(fig3_bca.run_fig3)
+    assert result.history_bca[0].tolist() == [0, 0, 1, 1, 1, 1, 0, 0, 1]
+    assert not result.history_bca[-1].any()  # zeros everywhere eventually
+    save_report("fig3", fig3_bca.fig3_report(result))

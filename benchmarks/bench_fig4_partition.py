@@ -1,0 +1,13 @@
+"""Fig. 4 benchmark: constructing + proving the optimal 5-chunk partition."""
+
+from repro.experiments import fig4_partition
+
+
+def test_fig4_five_chunk_partition(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig4_partition.run_fig4, rounds=1, iterations=1
+    )
+    assert result.matches_paper
+    assert result.conflict_free
+    assert result.clique_bound == result.searched_m == 5
+    save_report("fig4", fig4_partition.fig4_report(result))

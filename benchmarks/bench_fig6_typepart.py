@@ -1,0 +1,16 @@
+"""Figs. 5/6 benchmark: reaction-type partitioning on the Ziff model."""
+
+from repro.experiments import fig6_typepart
+
+
+def test_fig6_type_partitioning(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig6_typepart.run_fig6,
+        kwargs=dict(side=20, until=5.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.checkerboard_valid
+    assert result.chunks_per_subset == 2
+    assert result.chunks_all_types == 5
+    save_report("fig6", fig6_typepart.fig6_report(result))

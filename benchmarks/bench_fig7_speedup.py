@@ -1,0 +1,66 @@
+"""Fig. 7 benchmark: the PNDCA speedup surface.
+
+Regenerates the speedup table T(1,N)/T(p,N) on the calibrated machine
+model (compute term measured from the real vectorised kernels), checks
+the paper's qualitative shape, and verifies the real multiprocessing
+executor against the serial algorithm.  Also contrasts PNDCA's modelled
+overhead with the Segers domain-decomposition route (the paper's
+volume/boundary discussion).
+"""
+
+import numpy as np
+
+from repro.core import Lattice
+from repro.experiments import fig7_speedup
+from repro.io import format_table
+from repro.models import ziff_model
+from repro.parallel import DEFAULT_2003, DomainDecomposedRSM
+
+
+def test_fig7_speedup_surface(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig7_speedup.run_fig7, rounds=1, iterations=1
+    )
+    surf = result.surface
+    # paper shape: growth with N, saturation in p, max ~7-8
+    assert (np.diff(surf, axis=0) >= -1e-9).all()
+    assert 6.0 <= result.max_speedup <= 9.0
+    assert result.executor_verified
+    save_report("fig7", fig7_speedup.fig7_report(result))
+
+
+def test_fig7_domain_decomposition_comparison(benchmark, save_report):
+    """The Segers route: boundary communication scales with the strip
+    perimeter, so the modelled efficiency falls as p grows."""
+    model = ziff_model()
+    lat = Lattice((48, 48))
+
+    def run():
+        rows = []
+        for p in (2, 4, 8):
+            sim = DomainDecomposedRSM(model, lat, seed=0, n_strips=p)
+            sim.run(until=2.0)
+            # strips compute concurrently: serial work / modelled time
+            serial = sim.n_trials * DEFAULT_2003.t_trial
+            parallel = sim.modelled_parallel_time(DEFAULT_2003)
+            rows.append(
+                (
+                    p,
+                    sim.volume_boundary_ratio(),
+                    sim.boundary_events,
+                    serial / max(parallel, 1e-12),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratios = [r[1] for r in rows]
+    assert ratios == sorted(ratios, reverse=True)  # thinner strips, worse ratio
+    save_report(
+        "fig7_domain_decomposition",
+        "Domain decomposition (Segers) volume/boundary trade-off\n"
+        + format_table(
+            ["strips p", "volume/boundary", "boundary events", "modelled speedup"],
+            rows,
+        ),
+    )

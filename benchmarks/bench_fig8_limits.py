@@ -1,0 +1,20 @@
+"""Fig. 8 benchmark: L-PNDCA limit parameterisations vs RSM.
+
+Runs the full oscillatory Pt(100) workload through RSM and the two
+RSM-equivalent L-PNDCA limits (m=1/L=N and m=N/L=1) and checks the
+statistical agreement of the coverage curves — the paper's Fig. 8
+overlap claim.
+"""
+
+from repro.experiments import fig8_limits
+
+
+def test_fig8_limit_equivalence(benchmark, save_report):
+    result = benchmark.pedantic(fig8_limits.run_fig8, rounds=1, iterations=1)
+    # both limits must track RSM within the RSM-vs-RSM null deviation
+    assert result.limits_match, (
+        result.null_rmse, result.single_rmse, result.singleton_rmse
+    )
+    # the reference RSM run oscillates (sanity of the workload)
+    assert result.rsm.oscillation.amplitude > 0.1
+    save_report("fig8", fig8_limits.fig8_report(result))

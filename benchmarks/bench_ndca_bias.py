@@ -1,0 +1,11 @@
+"""Benchmark: NDCA site-selection bias (Ising / single-file probes)."""
+
+from repro.experiments import ndca_bias
+
+
+def test_ndca_bias_probes(benchmark, save_report):
+    result = benchmark.pedantic(ndca_bias.run_ndca_bias, rounds=1, iterations=1)
+    # the documented degeneracy: raster sweeps advect 1-d particles,
+    # inflating the tracer MSD by a large factor
+    assert result.sf_msd_ndca > 2 * result.sf_msd_rsm
+    save_report("ndca_bias", ndca_bias.ndca_bias_report(result))

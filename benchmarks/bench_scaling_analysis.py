@@ -1,0 +1,53 @@
+"""Benchmark: scaling analysis derived from the Fig. 7 machine model.
+
+Strong scaling (fixed N), weak scaling (fixed N/p) and the
+isoefficiency function — the classical HPC view of the paper's
+partitioned algorithm.
+"""
+
+from repro.io import format_table
+from repro.parallel import (
+    DEFAULT_2003,
+    isoefficiency_sites,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+def test_scaling_analysis(benchmark, save_report):
+    def run():
+        strong = strong_scaling(DEFAULT_2003, 600 * 600, [2, 4, 8, 16])
+        weak = weak_scaling(DEFAULT_2003, sites_per_processor=50_000, ps=[2, 4, 8, 16])
+        iso = isoefficiency_sites(DEFAULT_2003, 0.7, [2, 4, 8])
+        return strong, weak, iso
+
+    strong, weak, iso = benchmark(run)
+    # strong scaling saturates; weak scaling stays efficient
+    assert strong[-1][2] < strong[0][2]
+    assert all(e > 0.5 for _, _, e in weak)
+    # isoefficiency grows with p
+    sizes = [n for _, n in iso if n is not None]
+    assert sizes == sorted(sizes)
+
+    text = [
+        "Scaling analysis on the modelled machine (PNDCA, 5 chunks)",
+        "",
+        "strong scaling (N = 600x600):",
+        format_table(
+            ["p", "speedup", "efficiency"],
+            [(p, f"{s:.2f}", f"{e:.2f}") for p, s, e in strong],
+        ),
+        "",
+        "weak scaling (50k sites per processor):",
+        format_table(
+            ["p", "N", "efficiency"],
+            [(p, n, f"{e:.2f}") for p, n, e in weak],
+        ),
+        "",
+        "isoefficiency (target E = 0.7):",
+        format_table(
+            ["p", "sites needed"],
+            [(p, n if n is not None else "unreachable") for p, n in iso],
+        ),
+    ]
+    save_report("scaling_analysis", "\n".join(text))

@@ -1,0 +1,16 @@
+"""Benchmarks for Tables I and II: model construction and the type split."""
+
+from repro.experiments import tables
+
+
+def test_table1_reaction_types(benchmark, save_report):
+    rows = benchmark(tables.table1_rows)
+    assert len(rows) == 7
+    assert all(r.matches_paper() for r in rows)
+    save_report("table1", tables.table1_report())
+
+
+def test_table2_typesplit(benchmark, save_report):
+    split = benchmark(tables.table2_split)
+    assert split.n_subsets == 2
+    save_report("table2", tables.table2_report())

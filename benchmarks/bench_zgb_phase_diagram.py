@@ -1,0 +1,33 @@
+"""Extra benchmark: the ZGB kinetic phase diagram ("Ziff model" data).
+
+Sweeps the CO mole fraction with the fast PNDCA and locates the two
+kinetic phase transitions; the reproduction contract is the *shape*
+(O-poisoned / reactive / CO-poisoned) with transitions near the
+literature values y1 ~ 0.39, y2 ~ 0.525.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments import phase_diagram
+
+
+def test_zgb_phase_diagram(benchmark, save_report):
+    diagram = benchmark.pedantic(
+        phase_diagram.run_phase_diagram,
+        kwargs=dict(
+            ys=np.arange(0.30, 0.60 + 1e-9, 0.025),
+            side=50,
+            until=150.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    y1, y2 = diagram.transition_estimates()
+    assert not math.isnan(y1) and abs(y1 - 0.39) < 0.06
+    assert not math.isnan(y2) and abs(y2 - 0.525) < 0.06
+    # reactive window exists between the transitions
+    reactive = [p for p in diagram.points if y1 < p.y < y2]
+    assert any(p.poisoned == "-" for p in reactive)
+    save_report("zgb_phase_diagram", phase_diagram.phase_diagram_report(diagram))

@@ -1,0 +1,89 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the reproduction experiments (tables/figures) and algorithms.
+``run <experiment-id> [...]``
+    Run one experiment by registry id and print its report
+    (e.g. ``python -m repro run fig4``).
+``algorithms``
+    Print the algorithm taxonomy table.
+``info``
+    Package/version/paper information.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    import repro.experiments as experiments
+
+    print("experiments (python -m repro run <id>):")
+    for key in sorted(experiments.REGISTRY):
+        module, _ = experiments.REGISTRY[key]
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {key:<22s} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import repro.experiments as experiments
+
+    try:
+        print(experiments.report(args.experiment))
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_algorithms(_args) -> int:
+    from repro.taxonomy import describe_all
+
+    print(describe_all())
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(
+        "reproduction of: Nedea, Lukkien, Jansen, Hilbers — "
+        "'Methods for parallel simulations of surface reactions', "
+        "IPPS 2003 (arXiv:physics/0209017)"
+    )
+    print("see DESIGN.md / EXPERIMENTS.md in the repository root")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="parallel simulation of surface reactions (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproduction experiments").set_defaults(
+        fn=_cmd_list
+    )
+    p_run = sub.add_parser("run", help="run one experiment and print its report")
+    p_run.add_argument("experiment", help="experiment id (see 'list')")
+    p_run.set_defaults(fn=_cmd_run)
+    sub.add_parser("algorithms", help="print the algorithm taxonomy").set_defaults(
+        fn=_cmd_algorithms
+    )
+    sub.add_parser("info", help="package information").set_defaults(fn=_cmd_info)
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Analysis toolkit: waiting times, oscillations, curve comparison, ensembles."""
+
+from .correlations import (
+    PairCorrelationObserver,
+    nn_pair_fraction,
+    pair_correlation,
+    structure_factor,
+)
+from .meanfield import integrate_mean_field, mean_field_rates, mean_field_rhs_for
+from .compare import (
+    common_grid,
+    curve_max_dev,
+    curve_rmse,
+    ensemble_band_distance,
+    phase_shift,
+)
+from .oscillations import OscillationSummary, analyze_oscillations, resample_uniform
+from .statistics import EnsembleResult, run_ensemble
+from .waiting_times import (
+    ExponentialityReport,
+    check_exponential_waiting_times,
+    interevent_times,
+    ks_exponential,
+    type_selection_ratio,
+)
+
+__all__ = [
+    "ks_exponential",
+    "interevent_times",
+    "type_selection_ratio",
+    "ExponentialityReport",
+    "check_exponential_waiting_times",
+    "OscillationSummary",
+    "analyze_oscillations",
+    "resample_uniform",
+    "common_grid",
+    "curve_rmse",
+    "curve_max_dev",
+    "phase_shift",
+    "ensemble_band_distance",
+    "EnsembleResult",
+    "run_ensemble",
+    "pair_correlation",
+    "nn_pair_fraction",
+    "structure_factor",
+    "PairCorrelationObserver",
+    "mean_field_rates",
+    "mean_field_rhs_for",
+    "integrate_mean_field",
+]

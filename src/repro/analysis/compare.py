@@ -1,0 +1,91 @@
+"""Curve comparison metrics: how far is an approximation from RSM?
+
+The paper's accuracy claims are comparisons of coverage curves
+(L-PNDCA vs RSM for various ``m``, ``L`` and chunk schedules).  This
+module provides the metrics the reproduction benches report:
+
+* :func:`curve_rmse` / :func:`curve_max_dev` — pointwise deviations on
+  a common time grid;
+* :func:`phase_shift` — the time lag maximising cross-correlation
+  (Fig. 9's "deviation in time of the oscillations");
+* :func:`ensemble_band_distance` — deviation of a curve from an
+  ensemble mean in units of the ensemble standard deviation (the
+  statistical yardstick for "gives the same results").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "common_grid",
+    "curve_rmse",
+    "curve_max_dev",
+    "phase_shift",
+    "ensemble_band_distance",
+]
+
+
+def common_grid(
+    t1: np.ndarray, y1: np.ndarray, t2: np.ndarray, y2: np.ndarray, n: int = 256
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Interpolate two series onto a shared uniform grid (overlap only)."""
+    t1, y1, t2, y2 = map(np.asarray, (t1, y1, t2, y2))
+    lo = max(t1[0], t2[0])
+    hi = min(t1[-1], t2[-1])
+    if hi <= lo:
+        raise ValueError("series do not overlap in time")
+    grid = np.linspace(lo, hi, n)
+    return grid, np.interp(grid, t1, y1), np.interp(grid, t2, y2)
+
+
+def curve_rmse(t1, y1, t2, y2, n: int = 256) -> float:
+    """Root-mean-square deviation between two time series."""
+    _, a, b = common_grid(t1, y1, t2, y2, n)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def curve_max_dev(t1, y1, t2, y2, n: int = 256) -> float:
+    """Maximum absolute deviation between two time series."""
+    _, a, b = common_grid(t1, y1, t2, y2, n)
+    return float(np.max(np.abs(a - b)))
+
+
+def phase_shift(t1, y1, t2, y2, max_lag_fraction: float = 0.5, n: int = 512) -> float:
+    """Time lag of series 2 relative to series 1 (cross-correlation peak).
+
+    Positive result: series 2 lags (is shifted later than) series 1.
+    Both series are detrended before correlating.  The search is
+    restricted to ``|lag| <= max_lag_fraction * overlap span``.
+    """
+    grid, a, b = common_grid(t1, y1, t2, y2, n)
+    a = a - a.mean()
+    b = b - b.mean()
+    dt = grid[1] - grid[0]
+    corr = np.correlate(b, a, mode="full")
+    lags = np.arange(-len(a) + 1, len(a)) * dt
+    span = grid[-1] - grid[0]
+    window = np.abs(lags) <= max_lag_fraction * span
+    if not window.any():
+        raise ValueError("max_lag_fraction leaves no admissible lags")
+    idx = np.flatnonzero(window)[np.argmax(corr[window])]
+    return float(lags[idx])
+
+
+def ensemble_band_distance(
+    t_ref: np.ndarray,
+    mean_ref: np.ndarray,
+    std_ref: np.ndarray,
+    t: np.ndarray,
+    y: np.ndarray,
+    floor: float = 1e-3,
+) -> float:
+    """Mean |y - mean| / max(std, floor) over the overlap window.
+
+    Values around 1 mean the curve is statistically indistinguishable
+    from a member of the reference ensemble; values much larger flag a
+    systematic bias.
+    """
+    grid, m, yy = common_grid(t_ref, mean_ref, t, y)
+    s = np.interp(grid, t_ref, std_ref)
+    return float(np.mean(np.abs(yy - m) / np.maximum(s, floor)))

@@ -1,0 +1,154 @@
+"""Spatial correlations of lattice configurations.
+
+The partitioned algorithms bias *correlations* before they bias
+coverages (paper, section 5: "simulating all the chunks per step in
+order or randomly introduces correlations in the occupancy of the
+sites").  This module measures exactly that:
+
+* :func:`pair_correlation` — the conditional probability of finding
+  species B at displacement d from species A, normalised so that an
+  uncorrelated lattice gives 1;
+* :func:`nn_pair_fraction` — the density of adjacent A-B pairs (the
+  quantity driving all two-site reaction rates);
+* :func:`structure_factor` — the FFT power spectrum of a species
+  indicator field (detects superstructures such as the c(2x2) O
+  ordering in CO oxidation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.lattice import Offset
+from ..core.state import Configuration
+
+__all__ = [
+    "pair_correlation",
+    "nn_pair_fraction",
+    "structure_factor",
+    "PairCorrelationObserver",
+]
+
+
+def pair_correlation(
+    state: Configuration, a: str, b: str, displacement: Offset
+) -> float:
+    """``P(B at s+d | A at s) / theta_B`` — 1 means uncorrelated.
+
+    Returns ``nan`` when species ``a`` or ``b`` is absent.
+    """
+    lat = state.lattice
+    ca = state.species.code(a)
+    cb = state.species.code(b)
+    mask_a = state.array == ca
+    n_a = int(mask_a.sum())
+    theta_b = float((state.array == cb).mean())
+    if n_a == 0 or theta_b == 0.0:
+        return float("nan")
+    shifted = state.array[lat.neighbor_map(displacement)]
+    joint = int(np.count_nonzero(mask_a & (shifted == cb)))
+    return (joint / n_a) / theta_b
+
+
+def nn_pair_fraction(state: Configuration, a: str, b: str) -> float:
+    """Fraction of (ordered) nearest-neighbour site pairs occupied A-B.
+
+    Counts over all ``N * 2 * ndim`` ordered nearest-neighbour pairs of
+    the periodic lattice; this is the density entering the rate of an
+    A+B pair reaction.
+    """
+    lat = state.lattice
+    ca = state.species.code(a)
+    cb = state.species.code(b)
+    if lat.ndim == 1:
+        offsets = [(1,), (-1,)]
+    else:
+        offsets = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+    mask_a = state.array == ca
+    total = 0
+    for off in offsets:
+        shifted = state.array[lat.neighbor_map(off)]
+        total += int(np.count_nonzero(mask_a & (shifted == cb)))
+    return total / (lat.n_sites * len(offsets))
+
+
+class PairCorrelationObserver:
+    """Samples ``pair_correlation(a, b, d)`` on a simulation-time grid.
+
+    A drop-in observer (same protocol as
+    :class:`repro.dmc.base.CoverageObserver`); the steady-state
+    pair correlation is then the time average over the post-transient
+    samples — far lower variance than a single final-state snapshot.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        a: str,
+        b: str,
+        displacement: Offset,
+        t0: float = 0.0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.t0 = float(t0)
+        self._k = 0
+        self.a = a
+        self.b = b
+        self.displacement = tuple(displacement)
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    @property
+    def next_due(self) -> float:
+        """Next grid time (computed multiplicatively: no float drift)."""
+        return self.t0 + self._k * self.interval
+
+    def start(self, sim) -> None:  # Observer protocol
+        """Observer-protocol hook (nothing to initialise)."""
+        pass
+
+    def maybe_sample(self, t: float, state: Configuration) -> None:
+        """Sample at every grid point up to and including time t."""
+        while self.next_due <= t:
+            self.sample(self.next_due, state)
+            self._k += 1
+
+    def sample(self, t: float, state: Configuration) -> None:
+        """Record one pair-correlation sample."""
+        self._times.append(t)
+        self._values.append(
+            pair_correlation(state, self.a, self.b, self.displacement)
+        )
+
+    def data(self) -> dict:
+        """Collected samples as plain arrays."""
+        key = f"g[{self.a},{self.b}]{self.displacement}"
+        return {
+            "pair_corr_times": np.array(self._times),
+            key: np.array(self._values),
+        }
+
+    def steady_mean(self, discard_fraction: float = 0.5) -> float:
+        """Time-averaged correlation over the post-transient samples."""
+        vals = np.array(self._values)
+        vals = vals[int(discard_fraction * len(vals)):]
+        vals = vals[np.isfinite(vals)]
+        if vals.size == 0:
+            return float("nan")
+        return float(vals.mean())
+
+
+def structure_factor(state: Configuration, species: str) -> np.ndarray:
+    """Normalised FFT power spectrum of the species indicator field.
+
+    Returns ``|FFT(ind - mean)|^2 / N`` with the same shape as the
+    lattice; peaks away from the origin signal spatial ordering (e.g.
+    a checkerboard phase peaks at (pi, pi), i.e. index (L0/2, L1/2)).
+    """
+    lat = state.lattice
+    ind = (state.array == state.species.code(species)).astype(np.float64)
+    field = lat.as_grid(ind - ind.mean())
+    spec = np.abs(np.fft.fftn(field)) ** 2 / lat.n_sites
+    return spec

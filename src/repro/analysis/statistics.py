@@ -1,0 +1,73 @@
+"""Ensemble statistics: averaging independent runs.
+
+"The necessary statistics may be obtained from the averaging of a
+large number of small, independent simulations" (paper, section 1,
+third parallelisation route).  This module runs a simulator factory
+over independent seeds and aggregates the sampled coverages into mean
+and standard-deviation bands — the reference yardstick against which
+single approximate-algorithm runs are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..dmc.base import SimulationResult, SimulatorBase
+
+__all__ = ["EnsembleResult", "run_ensemble"]
+
+
+@dataclass
+class EnsembleResult:
+    """Aggregated coverage statistics over independent runs."""
+
+    times: np.ndarray
+    mean: dict[str, np.ndarray]
+    std: dict[str, np.ndarray]
+    n_runs: int
+    results: list[SimulationResult]
+
+    def band(self, species: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, mean, std) for one species."""
+        return self.times, self.mean[species], self.std[species]
+
+
+def run_ensemble(
+    factory: Callable[[int], SimulatorBase],
+    seeds: Sequence[int],
+    until: float,
+    keep_results: bool = False,
+) -> EnsembleResult:
+    """Run ``factory(seed)`` for every seed and average the coverages.
+
+    Every simulator must carry at least one coverage observer sampling
+    the *same* time grid (same interval and origin); runs are truncated
+    to the shortest sampled grid before averaging.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: list[SimulationResult] = []
+    for seed in seeds:
+        sim = factory(int(seed))
+        results.append(sim.run(until=until))
+    n_keep = min(len(r.times) for r in results)
+    if n_keep == 0:
+        raise ValueError("runs produced no coverage samples; add a CoverageObserver")
+    times = results[0].times[:n_keep]
+    for r in results[1:]:
+        if not np.allclose(r.times[:n_keep], times):
+            raise ValueError("runs sampled different time grids; use one observer config")
+    species = list(results[0].coverage)
+    stacks = {
+        sp: np.vstack([r.coverage[sp][:n_keep] for r in results]) for sp in species
+    }
+    return EnsembleResult(
+        times=times,
+        mean={sp: stacks[sp].mean(axis=0) for sp in species},
+        std={sp: stacks[sp].std(axis=0, ddof=1 if len(results) > 1 else 0) for sp in species},
+        n_runs=len(results),
+        results=results if keep_results else [],
+    )

@@ -1,0 +1,21 @@
+"""Cellular-automaton simulators: NDCA, synchronous CA, BCA, PNDCA family."""
+
+from .bca import BlockCA, BlockRule
+from .lpndca import LPNDCA
+from .ndca import NDCA
+from .pndca import PNDCA, STRATEGIES
+from .sync import ConflictError, SynchronousCA
+from .typepart import TypePartitionedCA, validate_partition_for_single_types
+
+__all__ = [
+    "NDCA",
+    "SynchronousCA",
+    "ConflictError",
+    "BlockCA",
+    "BlockRule",
+    "PNDCA",
+    "STRATEGIES",
+    "LPNDCA",
+    "TypePartitionedCA",
+    "validate_partition_for_single_types",
+]

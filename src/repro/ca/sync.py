@@ -1,0 +1,153 @@
+"""Naive synchronous CA update and its conflicts (Fig. 2 of the paper).
+
+The CA approach is inherently parallel: all sites could react in one
+step.  But simultaneous execution of reactions whose neighborhoods
+overlap is ill-defined — the paper's Fig. 2 example is diffusion, where
+two particles adjacent to the same vacancy both try to hop into it.
+This module implements the naive synchronous update *with explicit
+conflict detection* so the problem can be observed and quantified (the
+motivation for partitioned CA), plus the two classical resolutions:
+
+* ``on_conflict="error"`` — raise :class:`ConflictError` on the first
+  conflicting step (demonstrates that synchronous update is unsound);
+* ``on_conflict="discard"`` — drop *every* proposal involved in a
+  conflict, execute the rest simultaneously (changes the kinetics:
+  conflicting reactions are suppressed);
+* ``on_conflict="sequential"`` — order the proposals randomly and
+  execute them sequentially with re-checking (a correct resolution,
+  but no longer synchronous — this is essentially what NDCA does).
+
+A proposal *conflicts* with another when their touched site sets
+(pattern neighborhoods) intersect — covering both write/write
+collisions (two hops into one vacancy) and read/write hazards (a
+pattern reads a site another reaction rewrites).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import run_trials_sequential
+from ..core.rng import draw_types
+from ..dmc.base import SimulatorBase
+
+__all__ = ["SynchronousCA", "ConflictError"]
+
+
+class ConflictError(RuntimeError):
+    """Raised when a synchronous step produces conflicting proposals."""
+
+    def __init__(self, step: int, n_conflicting: int):
+        super().__init__(
+            f"synchronous step {step}: {n_conflicting} proposals touch "
+            "overlapping neighborhoods; simultaneous execution is ill-defined"
+        )
+        self.step = step
+        self.n_conflicting = n_conflicting
+
+
+class SynchronousCA(SimulatorBase):
+    """Synchronous NDCA with explicit conflict detection/resolution.
+
+    Per step: every site draws a reaction type; proposals are the
+    (site, type) pairs whose source pattern matches the *old* state;
+    conflicts among proposals are detected and handled per
+    ``on_conflict``.  Statistics are accumulated in
+    ``conflict_history`` (per step: proposals, conflicting proposals).
+    """
+
+    algorithm = "SyncCA"
+
+    def __init__(self, *args, on_conflict: str = "discard", **kwargs):
+        super().__init__(*args, **kwargs)
+        if on_conflict not in ("error", "discard", "sequential"):
+            raise ValueError(f"unknown conflict policy {on_conflict!r}")
+        self.on_conflict = on_conflict
+        #: list of (n_proposals, n_conflicting) per step
+        self.conflict_history: list[tuple[int, int]] = []
+        self._step_no = 0
+
+    # ------------------------------------------------------------------
+    def _proposals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one type per site; keep the enabled (site, type) pairs."""
+        comp = self.compiled
+        n = comp.n_sites
+        sites = np.arange(n, dtype=np.intp)
+        types = draw_types(self.rng, comp.type_cum, n)
+        keep = np.zeros(n, dtype=bool)
+        for t in np.unique(types):
+            pick = types == t
+            keep[pick] = comp.match_sites(self.state.array, int(t), sites[pick])
+        return sites[keep], types[keep]
+
+    def _touched(self, sites: np.ndarray, types: np.ndarray) -> list[np.ndarray]:
+        """Per proposal, the flat indices its pattern touches."""
+        comp = self.compiled
+        return [
+            np.array([m[s] for m in comp.types[t].maps], dtype=np.intp)
+            for s, t in zip(sites.tolist(), types.tolist())
+        ]
+
+    def _conflicting_mask(self, touched: list[np.ndarray]) -> np.ndarray:
+        """Mask of proposals whose touched sites intersect another's."""
+        if not touched:
+            return np.zeros(0, dtype=bool)
+        all_sites = np.concatenate(touched)
+        owners = np.concatenate(
+            [np.full(len(t), i, dtype=np.intp) for i, t in enumerate(touched)]
+        )
+        order = np.argsort(all_sites, kind="stable")
+        ss, oo = all_sites[order], owners[order]
+        dup = np.zeros(len(ss), dtype=bool)
+        same = ss[1:] == ss[:-1]
+        dup[1:] |= same
+        dup[:-1] |= same
+        mask = np.zeros(len(touched), dtype=bool)
+        mask[oo[dup]] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    def _step_block(self, until: float) -> int:
+        comp = self.compiled
+        n = comp.n_sites
+        self._step_no += 1
+        sites, types = self._proposals()
+        touched = self._touched(sites, types)
+        conflict = self._conflicting_mask(touched)
+        n_conf = int(conflict.sum())
+        self.conflict_history.append((len(sites), n_conf))
+
+        if n_conf and self.on_conflict == "error":
+            raise ConflictError(self._step_no, n_conf)
+
+        if self.on_conflict == "sequential":
+            order = self.rng.permutation(len(sites))
+            run_trials_sequential(
+                self.state.array,
+                comp,
+                sites[order],
+                types[order],
+                counts=self.executed_per_type,
+            )
+        else:  # discard conflicting, apply the rest simultaneously
+            ok_sites, ok_types = sites[~conflict], types[~conflict]
+            # proposals already matched against the old state and are
+            # mutually non-overlapping -> scatter the targets directly
+            for t in np.unique(ok_types):
+                sel = ok_sites[ok_types == t]
+                ct = comp.types[t]
+                for m, v in zip(ct.maps, ct.tgts):
+                    self.state.array[m[sel]] = v
+                self.executed_per_type[t] += sel.size
+        self.n_trials += n
+        self.time += self.time_increment(n)
+        return n
+
+    # ------------------------------------------------------------------
+    def conflict_rate(self) -> float:
+        """Fraction of proposals involved in conflicts over the whole run."""
+        if not self.conflict_history:
+            return 0.0
+        props = sum(p for p, _ in self.conflict_history)
+        confs = sum(c for _, c in self.conflict_history)
+        return confs / props if props else 0.0

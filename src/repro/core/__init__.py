@@ -1,0 +1,46 @@
+"""Core substrate: lattices, species, reaction types, models, kernels.
+
+This subpackage implements the mathematical model of section 2 of the
+paper (lattice ``Omega``, domain ``D``, reaction types ``T`` with rate
+constants) plus the compiled representation and execution kernels
+shared by every simulation algorithm.
+"""
+
+from .builder import ModelBuilder
+from .compiled import CompiledModel, CompiledType
+from .conservation import (
+    conserved_quantities,
+    is_conserved,
+    stoichiometry_matrix,
+)
+from .events import Event, EventTrace
+from .lattice import Lattice
+from .model import Model
+from .rates import ArrheniusRate, arrhenius, selection_table
+from .reaction import ORIENTATIONS_2, ORIENTATIONS_4, Change, ReactionType, oriented
+from .species import EMPTY, SpeciesRegistry
+from .state import Configuration
+
+__all__ = [
+    "Lattice",
+    "SpeciesRegistry",
+    "EMPTY",
+    "Change",
+    "ReactionType",
+    "oriented",
+    "ORIENTATIONS_2",
+    "ORIENTATIONS_4",
+    "Model",
+    "CompiledModel",
+    "CompiledType",
+    "Configuration",
+    "arrhenius",
+    "ArrheniusRate",
+    "selection_table",
+    "Event",
+    "EventTrace",
+    "ModelBuilder",
+    "stoichiometry_matrix",
+    "conserved_quantities",
+    "is_conserved",
+]

@@ -1,0 +1,162 @@
+"""A fluent builder for surface-reaction models.
+
+Writing reaction types as raw ``(offset, src, tgt)`` tuples is exact
+but verbose; the builder offers the vocabulary of the domain —
+adsorption, desorption, dissociative adsorption, pair reactions,
+hops — and expands orientations automatically::
+
+    from repro.core.builder import ModelBuilder
+
+    model = (
+        ModelBuilder("my-ziff", species=("*", "CO", "O"))
+        .adsorption("CO_ads", "CO", rate=1.0)
+        .dissociative_adsorption("O2_ads", "O", rate=0.5)
+        .pair_reaction("CO+O", "CO", "O", rate=2.0)   # products vacant
+        .build()
+    )
+
+The result is an ordinary :class:`~repro.core.model.Model`; everything
+the builder can express can also be written directly with
+:class:`~repro.core.reaction.ReactionType`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .model import Model
+from .reaction import ORIENTATIONS_2, ORIENTATIONS_4, Change, ReactionType, oriented
+from .species import EMPTY, SpeciesRegistry
+
+__all__ = ["ModelBuilder"]
+
+
+class ModelBuilder:
+    """Accumulates reaction types and builds a :class:`Model`.
+
+    Parameters
+    ----------
+    name:
+        Model name.
+    species:
+        The domain ``D``; defaults include the vacant species ``"*"``.
+    ndim:
+        Lattice dimensionality the reactions target (1 or 2; the
+        orientation-expanding helpers require 2).
+    """
+
+    def __init__(self, name: str, species: Sequence[str], ndim: int = 2):
+        if ndim not in (1, 2):
+            raise ValueError(f"ndim must be 1 or 2, got {ndim}")
+        self.name = name
+        self.ndim = ndim
+        self._species = SpeciesRegistry(species)
+        self._types: list[ReactionType] = []
+
+    # ------------------------------------------------------------------
+    def _zero(self) -> tuple[int, ...]:
+        return (0,) * self.ndim
+
+    def _east(self) -> tuple[int, ...]:
+        return (1,) if self.ndim == 1 else (1, 0)
+
+    def _check(self, *names: str) -> None:
+        for n in names:
+            if n not in self._species:
+                raise ValueError(
+                    f"species {n!r} is not in the domain {list(self._species)}"
+                )
+
+    def _add_oriented(self, name, changes, rate, directions, group=None):
+        if self.ndim == 2:
+            self._types += oriented(name, changes, rate, directions, group=group)
+        else:
+            # 1-d: forward and (when the pattern is 2-site) backward
+            fwd = [Change(*c) if not isinstance(c, Change) else c for c in changes]
+            self._types.append(ReactionType(f"{name}(0)", tuple(fwd), rate, group=group or name))
+            if any(any(c.offset) for c in fwd):
+                bwd = tuple(
+                    Change(tuple(-o for o in c.offset), c.src, c.tg) for c in fwd
+                )
+                self._types.append(
+                    ReactionType(f"{name}(1)", bwd, rate, group=group or name)
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # single-site processes
+    # ------------------------------------------------------------------
+    def adsorption(self, name: str, species: str, rate: float) -> "ModelBuilder":
+        """``* -> X`` on one site."""
+        self._check(species)
+        self._types.append(
+            ReactionType(name, [(self._zero(), EMPTY, species)], rate)
+        )
+        return self
+
+    def desorption(self, name: str, species: str, rate: float) -> "ModelBuilder":
+        """``X -> *`` on one site."""
+        self._check(species)
+        self._types.append(
+            ReactionType(name, [(self._zero(), species, EMPTY)], rate)
+        )
+        return self
+
+    def transformation(
+        self, name: str, src: str, tgt: str, rate: float
+    ) -> "ModelBuilder":
+        """``X -> Y`` on one site (isomerisation, phase flip, ...)."""
+        self._check(src, tgt)
+        self._types.append(ReactionType(name, [(self._zero(), src, tgt)], rate))
+        return self
+
+    # ------------------------------------------------------------------
+    # pair processes (auto-oriented)
+    # ------------------------------------------------------------------
+    def dissociative_adsorption(
+        self, name: str, species: str, rate: float
+    ) -> "ModelBuilder":
+        """``(*, *) -> (X, X)`` on an adjacent pair (2 orientations)."""
+        self._check(species)
+        changes = [(self._zero(), EMPTY, species), (self._east(), EMPTY, species)]
+        directions = ORIENTATIONS_2 if self.ndim == 2 else None
+        return self._add_oriented(
+            name, changes, rate, directions or ORIENTATIONS_2
+        )
+
+    def pair_reaction(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        rate: float,
+        product_a: str = EMPTY,
+        product_b: str = EMPTY,
+    ) -> "ModelBuilder":
+        """``(A, B) -> (product_a, product_b)`` on an adjacent pair.
+
+        Expanded into the 4 orientations (A anchored); use it for
+        associative desorption (products vacant) or general two-site
+        chemistry.
+        """
+        self._check(a, b, product_a, product_b)
+        changes = [(self._zero(), a, product_a), (self._east(), b, product_b)]
+        return self._add_oriented(name, changes, rate, ORIENTATIONS_4)
+
+    def hop(self, name: str, species: str, rate: float) -> "ModelBuilder":
+        """Diffusion: ``(X, *) -> (*, X)`` in every direction."""
+        self._check(species)
+        changes = [(self._zero(), species, EMPTY), (self._east(), EMPTY, species)]
+        return self._add_oriented(name, changes, rate, ORIENTATIONS_4, group=name)
+
+    # ------------------------------------------------------------------
+    def reaction_type(self, rt: ReactionType) -> "ModelBuilder":
+        """Append a hand-built reaction type unchanged."""
+        self._types.append(rt)
+        return self
+
+    def build(self) -> Model:
+        """Validate and produce the :class:`Model`."""
+        if not self._types:
+            raise ValueError("no reaction types were added")
+        return Model(self._species, self._types, name=self.name)

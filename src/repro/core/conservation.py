@@ -1,0 +1,131 @@
+"""Conservation-law analysis of reaction systems.
+
+Every reaction type changes the per-species site counts by a fixed
+integer *stoichiometry vector* (e.g. a diffusion hop changes nothing;
+CO adsorption turns one ``*`` into one ``CO``).  A linear functional
+``c . counts`` is conserved by the dynamics iff ``c`` is orthogonal to
+every stoichiometry vector — the integer null space of the
+stoichiometry matrix.
+
+Knowing the conserved quantities of a model is both physics (particle
+conservation in diffusion models, total site count always) and a
+powerful testing tool: *every* simulator must keep them invariant
+along any trajectory, which the property tests exploit.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from .model import Model
+
+__all__ = [
+    "stoichiometry_matrix",
+    "conserved_quantities",
+    "is_conserved",
+    "check_trajectory_conservation",
+]
+
+
+def stoichiometry_matrix(model: Model) -> np.ndarray:
+    """Per-type change of species counts; shape ``(n_types, n_species)``.
+
+    Row ``i`` holds, for each species, how many sites gain (+) or lose
+    (-) that species when reaction type ``i`` executes once.
+    """
+    n_sp = len(model.species)
+    out = np.zeros((model.n_types, n_sp), dtype=np.int64)
+    for i, rt in enumerate(model.reaction_types):
+        for c in rt.changes:
+            out[i, model.species.code(c.src)] -= 1
+            out[i, model.species.code(c.tg)] += 1
+    return out
+
+
+def _rational_nullspace(matrix: np.ndarray) -> list[list[Fraction]]:
+    """Exact null space basis of an integer matrix (Gauss over Q)."""
+    rows, cols = matrix.shape
+    a = [[Fraction(int(matrix[r, c])) for c in range(cols)] for r in range(rows)]
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        pivot_row = next((i for i in range(r, rows) if a[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        a[r], a[pivot_row] = a[pivot_row], a[r]
+        inv = a[r][c]
+        a[r] = [x / inv for x in a[r]]
+        for i in range(rows):
+            if i != r and a[i][c] != 0:
+                f = a[i][c]
+                a[i] = [x - f * y for x, y in zip(a[i], a[r])]
+        pivots.append(c)
+        r += 1
+        if r == rows:
+            break
+    free = [c for c in range(cols) if c not in pivots]
+    basis = []
+    for fc in free:
+        v = [Fraction(0)] * cols
+        v[fc] = Fraction(1)
+        for pr, pc in enumerate(pivots):
+            v[pc] = -a[pr][fc]
+        basis.append(v)
+    return basis
+
+
+def conserved_quantities(model: Model) -> list[dict[str, int]]:
+    """Integer basis of conserved linear functionals of the counts.
+
+    Returns one dict per conserved quantity mapping species name to
+    its integer coefficient (scaled to the smallest integer vector).
+    The total site count (all-ones vector) is always in the span;
+    models with additional conservation laws (diffusion: particle
+    number) return more than one basis vector.
+    """
+    s = stoichiometry_matrix(model)
+    basis = _rational_nullspace(s)
+    out = []
+    for v in basis:
+        denom = np.lcm.reduce([f.denominator for f in v]) if v else 1
+        ints = [int(f * denom) for f in v]
+        g = np.gcd.reduce([abs(x) for x in ints if x]) or 1
+        ints = [x // g for x in ints]
+        # canonical sign: first nonzero positive
+        first = next((x for x in ints if x), 1)
+        if first < 0:
+            ints = [-x for x in ints]
+        out.append({name: c for name, c in zip(model.species.names, ints)})
+    return out
+
+
+def is_conserved(model: Model, coefficients: dict[str, int | float]) -> bool:
+    """Is ``sum_X coefficients[X] * count_X`` invariant under every reaction?
+
+    Species absent from ``coefficients`` get coefficient 0.
+    """
+    c = np.array(
+        [float(coefficients.get(name, 0)) for name in model.species.names]
+    )
+    s = stoichiometry_matrix(model)
+    return bool(np.allclose(s @ c, 0.0))
+
+
+def check_trajectory_conservation(
+    model: Model,
+    states: list[np.ndarray],
+    coefficients: dict[str, int | float],
+) -> bool:
+    """Does a sequence of configurations keep a quantity constant?"""
+    if not states:
+        raise ValueError("need at least one state")
+    c = np.array(
+        [float(coefficients.get(name, 0)) for name in model.species.names]
+    )
+    n_sp = len(model.species)
+    values = [
+        float(np.bincount(s, minlength=n_sp) @ c) for s in states
+    ]
+    return bool(np.allclose(values, values[0]))

@@ -1,0 +1,124 @@
+"""Event records and execution traces.
+
+A *reaction event* is the occurrence of a reaction: a reaction type
+executed at an anchor site at a simulation time.  Simulators can
+optionally collect events into an :class:`EventTrace`; the waiting-time
+correctness analyses (Segers criteria, see
+:mod:`repro.analysis.waiting_times`) are computed from such traces.
+
+Traces are stored column-wise in growable numpy buffers so that
+collecting millions of events stays cheap and the analysis code gets
+flat arrays directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Event", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One executed reaction."""
+
+    time: float
+    type_index: int
+    site: int
+
+
+class EventTrace:
+    """Column-wise growable store of executed reactions.
+
+    Attributes (after :meth:`freeze` or via the properties):
+    ``times`` (float64), ``type_indices`` (int32), ``sites`` (intp).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._types = np.empty(capacity, dtype=np.int32)
+        self._sites = np.empty(capacity, dtype=np.intp)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, time: float, type_index: int, site: int) -> None:
+        """Record one event."""
+        if self._n == self._times.size:
+            self._grow(self._n * 2)
+        i = self._n
+        self._times[i] = time
+        self._types[i] = type_index
+        self._sites[i] = site
+        self._n = i + 1
+
+    def extend(self, times: np.ndarray, type_indices: np.ndarray, sites: np.ndarray) -> None:
+        """Record a block of events (equal-length arrays)."""
+        k = len(times)
+        if not (len(type_indices) == len(sites) == k):
+            raise ValueError("event columns must have equal length")
+        if self._n + k > self._times.size:
+            self._grow(max(self._n + k, self._times.size * 2))
+        sl = slice(self._n, self._n + k)
+        self._times[sl] = times
+        self._types[sl] = type_indices
+        self._sites[sl] = sites
+        self._n += k
+
+    def _grow(self, capacity: int) -> None:
+        for name in ("_times", "_types", "_sites"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Event times (view of the filled part of the buffer)."""
+        return self._times[: self._n]
+
+    @property
+    def type_indices(self) -> np.ndarray:
+        """Event reaction-type indices."""
+        return self._types[: self._n]
+
+    @property
+    def sites(self) -> np.ndarray:
+        """Event anchor sites."""
+        return self._sites[: self._n]
+
+    def __getitem__(self, i: int) -> Event:
+        if not -self._n <= i < self._n:
+            raise IndexError(i)
+        i %= self._n
+        return Event(float(self._times[i]), int(self._types[i]), int(self._sites[i]))
+
+    def of_type(self, type_index: int) -> "EventTrace":
+        """Sub-trace containing only events of one reaction type."""
+        return self.select(self.type_indices == type_index)
+
+    def at_site(self, site: int) -> "EventTrace":
+        """Sub-trace containing only events anchored at one site."""
+        return self.select(self.sites == site)
+
+    def select(self, mask: np.ndarray) -> "EventTrace":
+        """Sub-trace of events where ``mask`` is true."""
+        out = EventTrace(capacity=max(1, int(np.count_nonzero(mask))))
+        out.extend(self.times[mask], self.type_indices[mask], self.sites[mask])
+        return out
+
+    def waiting_times(self) -> np.ndarray:
+        """Inter-event times (first event measured from t = 0)."""
+        t = self.times
+        if t.size == 0:
+            return np.empty(0)
+        return np.diff(t, prepend=0.0)
+
+    def __repr__(self) -> str:
+        return f"EventTrace(n={self._n})"

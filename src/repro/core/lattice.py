@@ -1,0 +1,180 @@
+"""Periodic lattices of adsorption sites.
+
+The surface is modelled as a d-dimensional (d = 1 or 2 in the paper)
+rectangular lattice ``Omega`` of ``N = L0 x L1`` sites with periodic
+boundary conditions.  Sites are identified either by integer coordinate
+tuples or by a flat index in ``range(N)`` (row-major / C order, the
+cache-friendly order for the underlying numpy state arrays).
+
+The only geometric operation simulators need is "site + offset" under
+periodic wrapping.  Because every reaction type is translation invariant
+(paper, section 2), the map ``s -> s + offset`` is the same permutation
+of ``Omega`` for every anchor site, so it is precomputed once per
+distinct offset and cached as an index array (``neighbor_map``).  Kernels
+then express pattern matching and execution as pure gather/scatter
+operations on flat arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Lattice", "Offset", "Site"]
+
+#: A relative displacement between sites, e.g. ``(0, 1)`` for "east".
+Offset = tuple[int, ...]
+#: An absolute site position, same representation as an offset.
+Site = tuple[int, ...]
+
+
+class Lattice:
+    """A periodic rectangular lattice of sites.
+
+    Parameters
+    ----------
+    shape:
+        Side lengths ``(L0,)`` for a 1-d lattice or ``(L0, L1)`` for a
+        2-d lattice.  All lengths must be positive.
+
+    Examples
+    --------
+    >>> lat = Lattice((3, 4))
+    >>> lat.n_sites
+    12
+    >>> lat.flat_index((2, 3))
+    11
+    >>> lat.wrap((3, -1))
+    (0, 3)
+    """
+
+    __slots__ = ("_shape", "_n_sites", "_strides", "_maps")
+
+    def __init__(self, shape: Sequence[int]):
+        shape = tuple(int(s) for s in shape)
+        if len(shape) not in (1, 2):
+            raise ValueError(f"only 1-d and 2-d lattices are supported, got shape {shape}")
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"all side lengths must be positive, got {shape}")
+        self._shape = shape
+        self._n_sites = int(np.prod(shape))
+        # row-major strides measured in sites (not bytes)
+        strides = [1] * len(shape)
+        for axis in range(len(shape) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * shape[axis + 1]
+        self._strides = tuple(strides)
+        self._maps: dict[Offset, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Side lengths of the lattice."""
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of lattice dimensions (1 or 2)."""
+        return len(self._shape)
+
+    @property
+    def n_sites(self) -> int:
+        """Total number of sites ``N``."""
+        return self._n_sites
+
+    def __repr__(self) -> str:
+        return f"Lattice(shape={self._shape})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Lattice) and other._shape == self._shape
+
+    def __hash__(self) -> int:
+        return hash(("Lattice", self._shape))
+
+    # ------------------------------------------------------------------
+    # coordinate conversions
+    # ------------------------------------------------------------------
+    def wrap(self, site: Sequence[int]) -> Site:
+        """Map an arbitrary integer position onto the lattice periodically."""
+        if len(site) != self.ndim:
+            raise ValueError(f"site {site!r} has wrong dimensionality for {self!r}")
+        return tuple(int(c) % s for c, s in zip(site, self._shape))
+
+    def flat_index(self, site: Sequence[int]) -> int:
+        """Flat (row-major) index of a site; the site is wrapped first."""
+        wrapped = self.wrap(site)
+        return sum(c * st for c, st in zip(wrapped, self._strides))
+
+    def coords(self, flat: int) -> Site:
+        """Coordinate tuple of a flat index."""
+        if not 0 <= flat < self._n_sites:
+            raise IndexError(f"flat index {flat} out of range for {self!r}")
+        out = []
+        for st in self._strides:
+            out.append(flat // st)
+            flat %= st
+        return tuple(out)
+
+    def sites(self) -> Iterator[Site]:
+        """Iterate over all sites in flat-index order."""
+        for flat in range(self._n_sites):
+            yield self.coords(flat)
+
+    # ------------------------------------------------------------------
+    # offset maps
+    # ------------------------------------------------------------------
+    def neighbor_map(self, offset: Sequence[int]) -> np.ndarray:
+        """Permutation array mapping every flat index to ``site + offset``.
+
+        The result is cached, read-only and shared between callers; it
+        has dtype ``intp`` and shape ``(n_sites,)``.  ``neighbor_map(0)``
+        is the identity.
+        """
+        key: Offset = tuple(int(o) for o in offset)
+        if len(key) != self.ndim:
+            raise ValueError(f"offset {offset!r} has wrong dimensionality for {self!r}")
+        cached = self._maps.get(key)
+        if cached is not None:
+            return cached
+        grids = np.meshgrid(
+            *(np.arange(s, dtype=np.intp) for s in self._shape), indexing="ij"
+        )
+        flat = np.zeros(self._shape, dtype=np.intp)
+        for g, o, s, st in zip(grids, key, self._shape, self._strides):
+            flat += ((g + o) % s) * st
+        arr = np.ascontiguousarray(flat.reshape(-1))
+        arr.setflags(write=False)
+        self._maps[key] = arr
+        return arr
+
+    def shift_flat(self, flat_sites: np.ndarray, offset: Sequence[int]) -> np.ndarray:
+        """Apply ``+ offset`` to an array of flat indices (vectorised)."""
+        return self.neighbor_map(offset)[np.asarray(flat_sites, dtype=np.intp)]
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def displacement(self, a: Sequence[int], b: Sequence[int]) -> Offset:
+        """Minimal-image displacement from site ``a`` to site ``b``."""
+        out = []
+        for ca, cb, s in zip(self.wrap(a), self.wrap(b), self._shape):
+            d = (cb - ca) % s
+            if d > s // 2:
+                d -= s
+            out.append(d)
+        return tuple(out)
+
+    def all_flat(self) -> np.ndarray:
+        """All flat indices, ``arange(n_sites)`` (fresh writable copy)."""
+        return np.arange(self._n_sites, dtype=np.intp)
+
+    def as_grid(self, flat_values: np.ndarray) -> np.ndarray:
+        """Reshape a flat per-site array to the lattice shape (a view)."""
+        arr = np.asarray(flat_values)
+        if arr.shape[0] != self._n_sites:
+            raise ValueError(
+                f"array of length {arr.shape[0]} does not match {self._n_sites} sites"
+            )
+        return arr.reshape(self._shape + arr.shape[1:])

@@ -1,0 +1,193 @@
+"""The simulation model: species domain + reaction types.
+
+A :class:`Model` bundles the domain ``D`` (a
+:class:`~repro.core.species.SpeciesRegistry`) with the set of reaction
+types ``T`` and validates their mutual consistency.  A model is
+independent of any particular lattice; binding a model to a
+:class:`~repro.core.lattice.Lattice` produces a
+:class:`~repro.core.compiled.CompiledModel` with the flat numpy tables
+the simulation kernels run on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .lattice import Lattice, Offset
+from .reaction import ReactionType
+from .species import EMPTY, SpeciesRegistry
+
+__all__ = ["Model"]
+
+
+class Model:
+    """A surface-reaction model: domain ``D`` and reaction-type set ``T``.
+
+    Parameters
+    ----------
+    species:
+        Either a :class:`SpeciesRegistry` or an iterable of species
+        names (conventionally starting with ``"*"`` for vacant).
+    reaction_types:
+        The reaction types.  Names must be unique; every species they
+        mention must be registered; all offsets must share one
+        dimensionality.
+    name:
+        Optional human-readable model name used in reports.
+
+    Examples
+    --------
+    >>> from repro.core.reaction import ReactionType
+    >>> m = Model(["*", "A"], [ReactionType("ads", [((0,), "*", "A")], 2.0)],
+    ...           name="1-d adsorption")
+    >>> m.total_rate
+    2.0
+    """
+
+    def __init__(
+        self,
+        species: SpeciesRegistry | Iterable[str],
+        reaction_types: Sequence[ReactionType],
+        name: str = "",
+    ):
+        if isinstance(species, SpeciesRegistry):
+            self._species = species
+        else:
+            self._species = SpeciesRegistry(species)
+        self._species.freeze()
+        rts = tuple(reaction_types)
+        if not rts:
+            raise ValueError("a model needs at least one reaction type")
+        names = [rt.name for rt in rts]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate reaction type names: {dupes}")
+        ndim = rts[0].ndim
+        if any(rt.ndim != ndim for rt in rts):
+            raise ValueError("all reaction types must share one offset dimensionality")
+        for rt in rts:
+            for sp in rt.species():
+                if sp not in self._species:
+                    raise ValueError(
+                        f"reaction type {rt.name!r} uses unknown species {sp!r}"
+                    )
+        self._reaction_types = rts
+        self._ndim = ndim
+        self.name = name or "model"
+        self._rates = np.array([rt.rate for rt in rts], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def species(self) -> SpeciesRegistry:
+        """The domain ``D``."""
+        return self._species
+
+    @property
+    def reaction_types(self) -> tuple[ReactionType, ...]:
+        """The reaction-type set ``T`` in declaration order."""
+        return self._reaction_types
+
+    @property
+    def n_types(self) -> int:
+        """Number of reaction types |T|."""
+        return len(self._reaction_types)
+
+    @property
+    def ndim(self) -> int:
+        """Lattice dimensionality the model expects."""
+        return self._ndim
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Rate constants ``k_i`` (read-only view)."""
+        v = self._rates.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def total_rate(self) -> float:
+        """``K = sum_i k_i``, the paper's normalisation constant."""
+        return float(self._rates.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"Model(name={self.name!r}, species={list(self._species)},"
+            f" n_types={self.n_types})"
+        )
+
+    # ------------------------------------------------------------------
+    def type_index(self, name: str) -> int:
+        """Index of a reaction type by name."""
+        for i, rt in enumerate(self._reaction_types):
+            if rt.name == name:
+                return i
+        raise KeyError(f"no reaction type named {name!r} in {self!r}")
+
+    def types_in_group(self, group: str) -> list[int]:
+        """Indices of all oriented variants sharing a group label."""
+        out = [i for i, rt in enumerate(self._reaction_types) if rt.group == group]
+        if not out:
+            raise KeyError(f"no reaction types in group {group!r}")
+        return out
+
+    def groups(self) -> list[str]:
+        """Distinct group labels, in first-appearance order."""
+        seen: list[str] = []
+        for rt in self._reaction_types:
+            if rt.group not in seen:
+                seen.append(rt.group)
+        return seen
+
+    def union_neighborhood(self) -> tuple[Offset, ...]:
+        """Union of all reaction-type neighborhoods (offsets relative to s).
+
+        This is the neighborhood relevant for the non-overlap rule of
+        partitioned CA: two sites conflict if *any* pair of reaction
+        types anchored at them touches a common site.
+        """
+        offs: set[Offset] = set()
+        for rt in self._reaction_types:
+            offs.update(rt.neighborhood)
+        return tuple(sorted(offs))
+
+    def empty_code(self) -> int:
+        """Code of the vacant species ``"*"`` (raises if absent)."""
+        return self._species.code(EMPTY)
+
+    # ------------------------------------------------------------------
+    def compile(self, lattice: Lattice) -> "CompiledModel":
+        """Bind the model to a lattice, producing fast kernel tables."""
+        from .compiled import CompiledModel
+
+        return CompiledModel(self, lattice)
+
+    def with_rates(self, rates: Mapping[str, float]) -> "Model":
+        """Copy of the model with some rate constants replaced.
+
+        ``rates`` maps *group* labels (or individual type names) to new
+        rate constants; every oriented variant in a group gets the new
+        value.
+        """
+        remaining = dict(rates)
+        new_types = []
+        for rt in self._reaction_types:
+            if rt.name in remaining:
+                new_types.append(rt.with_rate(remaining[rt.name]))
+            elif rt.group in rates:
+                new_types.append(rt.with_rate(rates[rt.group]))
+                remaining.pop(rt.group, None)
+            else:
+                new_types.append(rt)
+            remaining.pop(rt.name, None)
+        if remaining:
+            raise KeyError(f"unknown reaction types/groups in rates: {sorted(remaining)}")
+        return Model(self._species, new_types, name=self.name)
+
+    def describe(self) -> str:
+        """Multi-line report of the model, one row per reaction type."""
+        lines = [f"model {self.name!r}: D={list(self._species)}  K={self.total_rate:g}"]
+        for i, rt in enumerate(self._reaction_types):
+            lines.append(f"  [{i}] {rt.name:<14s} k={rt.rate:<10g} {rt.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Rate constants and the Arrhenius expression.
+
+Each reaction type has a rate constant ``k``, the probability per unit
+time that an enabled reaction occurs.  Physically (paper, section 2)
+
+    k = nu * exp(-E / (kB * T))
+
+with activation energy ``E``, pre-exponential factor ``nu`` and
+temperature ``T``.  Simulations only ever see the resulting ``k``; this
+module provides the conversion plus small helpers used across the
+package (normalised selection tables).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BOLTZMANN_EV", "arrhenius", "ArrheniusRate", "selection_table"]
+
+#: Boltzmann constant in eV / K, the conventional unit for activation energies.
+BOLTZMANN_EV = 8.617333262e-5
+
+
+def arrhenius(nu: float, activation_energy: float, temperature: float) -> float:
+    """Rate constant ``nu * exp(-E / kB T)``.
+
+    Parameters
+    ----------
+    nu:
+        Pre-exponential (attempt) frequency, in 1/time.  Must be > 0.
+    activation_energy:
+        Activation energy ``E`` in eV.  Must be >= 0.
+    temperature:
+        Absolute temperature in K.  Must be > 0.
+    """
+    if nu <= 0:
+        raise ValueError(f"pre-exponential factor must be positive, got {nu}")
+    if activation_energy < 0:
+        raise ValueError(f"activation energy must be non-negative, got {activation_energy}")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return nu * math.exp(-activation_energy / (BOLTZMANN_EV * temperature))
+
+
+@dataclass(frozen=True)
+class ArrheniusRate:
+    """A temperature-dependent rate constant.
+
+    Useful when the same model is instantiated at several temperatures:
+    store the ``(nu, E)`` pair once and evaluate per temperature.
+    """
+
+    nu: float
+    activation_energy: float
+
+    def at(self, temperature: float) -> float:
+        """Rate constant at the given temperature (K)."""
+        return arrhenius(self.nu, self.activation_energy, temperature)
+
+
+def selection_table(rates: np.ndarray) -> tuple[np.ndarray, float]:
+    """Cumulative probability table for rate-weighted selection.
+
+    Returns ``(cum, total)`` where ``cum`` is the cumulative sum of
+    ``rates / total`` with ``cum[-1] == 1`` exactly.  Selecting an index
+    with probability ``rates[i] / total`` is then
+    ``np.searchsorted(cum, u, side="right")`` for ``u ~ U[0, 1)``.
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    if rates.ndim != 1 or rates.size == 0:
+        raise ValueError("rates must be a non-empty 1-d array")
+    if np.any(rates < 0):
+        raise ValueError("rates must be non-negative")
+    total = float(rates.sum())
+    if total <= 0:
+        raise ValueError("total rate must be positive")
+    cum = np.cumsum(rates) / total
+    cum[-1] = 1.0
+    return cum, total

@@ -1,0 +1,221 @@
+"""Reaction types: translation-invariant local rewrites of the lattice.
+
+Following section 2 of the paper, a reaction type applied at an anchor
+site ``s`` yields a collection of triples ``(site, src, tg)``:
+
+* ``site`` — here stored as an *offset* relative to ``s`` (which makes
+  translation invariance automatic),
+* ``src`` — the species that must occupy that site for the reaction to
+  be *enabled* (the source pattern),
+* ``tg`` — the species that occupies it after execution (the target
+  pattern).
+
+A reaction type also carries a *rate constant* ``k``, the probability
+per unit time of the reaction occurring, typically an Arrhenius
+expression (see :mod:`repro.core.rates`).
+
+Many physical reactions (dissociative adsorption, reaction between
+adsorbed neighbours, diffusion hops) exist in several lattice
+orientations; each orientation is a distinct reaction type (the paper's
+``Rt^(0..3)``).  :func:`oriented` generates the variants in the paper's
+ordering: east ``(1,0)``, north ``(0,1)``, west ``(-1,0)``, south
+``(0,-1)``.
+
+Note on Table I of the paper: the printed row for ``Rt^(3)_{CO+O}``
+reads ``(s+(0,-1), CO, *)`` — a typo for ``(s+(0,-1), O, *)`` (the
+reaction consumes a CO/O *pair*; the other three orientations all pair
+CO with O).  This package generates the evidently intended version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .lattice import Offset
+
+__all__ = ["Change", "ReactionType", "oriented", "rotate_offset", "ORIENTATIONS_4", "ORIENTATIONS_2"]
+
+
+@dataclass(frozen=True)
+class Change:
+    """One ``(site, src, tg)`` triple of a reaction type.
+
+    ``offset`` is relative to the anchor site.  ``src`` and ``tg`` are
+    species *names*; they are resolved to codes when a model is
+    compiled.
+    """
+
+    offset: Offset
+    src: str
+    tg: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offset", tuple(int(c) for c in self.offset))
+
+    def translated(self, shift: Sequence[int]) -> "Change":
+        """The same change expressed relative to a shifted anchor."""
+        return Change(tuple(o + s for o, s in zip(self.offset, shift)), self.src, self.tg)
+
+
+@dataclass(frozen=True)
+class ReactionType:
+    """A named, translation-invariant reaction with a rate constant.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within a model (e.g. ``"CO_ads"`` or
+        ``"CO+O(2)"`` for the third orientation of the CO+O reaction).
+    changes:
+        The ``(offset, src, tg)`` triples.  Offsets must be distinct and
+        one of them must be the zero offset (paper: ``s in Nb(s)``).
+    rate:
+        Rate constant ``k`` (probability per unit time), strictly
+        positive.
+    group:
+        Optional label tying oriented variants of the same physical
+        reaction together (e.g. all four CO+O orientations share
+        ``group="CO+O"``).  Used for reporting and for reaction-type
+        partitioning (Table II).
+    """
+
+    name: str
+    changes: tuple[Change, ...]
+    rate: float
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        changes = tuple(
+            c if isinstance(c, Change) else Change(*c) for c in self.changes
+        )
+        object.__setattr__(self, "changes", changes)
+        if not changes:
+            raise ValueError(f"reaction type {self.name!r} has no changes")
+        ndim = len(changes[0].offset)
+        offsets = [c.offset for c in changes]
+        if any(len(o) != ndim for o in offsets):
+            raise ValueError(f"reaction type {self.name!r} mixes offset dimensionalities")
+        if len(set(offsets)) != len(offsets):
+            raise ValueError(f"reaction type {self.name!r} has duplicate offsets {offsets}")
+        if tuple([0] * ndim) not in offsets:
+            raise ValueError(
+                f"reaction type {self.name!r} must include the anchor site "
+                f"(zero offset); offsets are {offsets}"
+            )
+        if not (self.rate > 0.0):
+            raise ValueError(f"reaction type {self.name!r} needs a positive rate, got {self.rate}")
+        if not self.group:
+            object.__setattr__(self, "group", self.name)
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the offsets."""
+        return len(self.changes[0].offset)
+
+    @property
+    def neighborhood(self) -> tuple[Offset, ...]:
+        """The offsets touched by this reaction type, ``Nb_Rt`` relative to s."""
+        return tuple(c.offset for c in self.changes)
+
+    @property
+    def source_pattern(self) -> tuple[str, ...]:
+        """Species names required at each offset (same order as offsets)."""
+        return tuple(c.src for c in self.changes)
+
+    @property
+    def target_pattern(self) -> tuple[str, ...]:
+        """Species names written at each offset after execution."""
+        return tuple(c.tg for c in self.changes)
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites in the pattern."""
+        return len(self.changes)
+
+    def species(self) -> set[str]:
+        """All species names mentioned by this reaction type."""
+        out: set[str] = set()
+        for c in self.changes:
+            out.add(c.src)
+            out.add(c.tg)
+        return out
+
+    def is_null(self) -> bool:
+        """True if executing the reaction never changes the state."""
+        return all(c.src == c.tg for c in self.changes)
+
+    def with_rate(self, rate: float) -> "ReactionType":
+        """Copy of this reaction type with a different rate constant."""
+        return ReactionType(self.name, self.changes, rate, self.group)
+
+    def describe(self) -> str:
+        """Human-readable rendering matching the paper's notation.
+
+        Example: ``{(s,CO,*), (s+(1,0),O,*)}``.
+        """
+        parts = []
+        for c in self.changes:
+            if all(o == 0 for o in c.offset):
+                where = "s"
+            else:
+                where = "s+" + "(" + ",".join(str(o) for o in c.offset) + ")"
+            parts.append(f"({where},{c.src},{c.tg})")
+        return "{" + ", ".join(parts) + "}"
+
+
+# ----------------------------------------------------------------------
+# orientation helpers
+# ----------------------------------------------------------------------
+
+#: Rotation order used by the paper's superscripts: (1,0), (0,1), (-1,0), (0,-1).
+ORIENTATIONS_4 = ((1, 0), (0, 1), (-1, 0), (0, -1))
+#: The two orientations needed for symmetric two-site patterns (O2 adsorption).
+ORIENTATIONS_2 = ((1, 0), (0, 1))
+
+
+def rotate_offset(offset: Offset, direction: Offset) -> Offset:
+    """Rotate a 2-d offset so that ``(1, 0)`` maps onto ``direction``.
+
+    ``direction`` must be one of the four axis unit vectors.  The
+    rotation is the unique proper rotation by a multiple of 90 degrees.
+    """
+    dx, dy = direction
+    if (abs(dx), abs(dy)) not in ((1, 0), (0, 1)) or abs(dx) + abs(dy) != 1:
+        raise ValueError(f"direction must be an axis unit vector, got {direction}")
+    x, y = offset
+    # rotation matrix [[dx, -dy], [dy, dx]] applied to (x, y)
+    return (dx * x - dy * y, dy * x + dx * y)
+
+
+def oriented(
+    name: str,
+    changes: Iterable[Change | tuple],
+    rate: float,
+    directions: Sequence[Offset] = ORIENTATIONS_4,
+    group: str | None = None,
+) -> list[ReactionType]:
+    """Generate the oriented variants of a 2-d reaction type.
+
+    ``changes`` describes the reaction in its reference orientation
+    (pointing east, ``(1, 0)``); one variant per entry of
+    ``directions`` is produced, named ``f"{name}({i})"``, matching the
+    paper's ``Rt^(i)`` superscripts.
+
+    >>> [rt.name for rt in oriented("O2_ads", [((0, 0), "*", "O"), ((1, 0), "*", "O")],
+    ...                              rate=1.0, directions=ORIENTATIONS_2)]
+    ['O2_ads(0)', 'O2_ads(1)']
+    """
+    base = [c if isinstance(c, Change) else Change(*c) for c in changes]
+    if any(len(c.offset) != 2 for c in base):
+        raise ValueError("oriented() only applies to 2-d reaction types")
+    out = []
+    for i, d in enumerate(directions):
+        rotated = tuple(
+            Change(rotate_offset(c.offset, d), c.src, c.tg) for c in base
+        )
+        out.append(
+            ReactionType(f"{name}({i})", rotated, rate, group=group or name)
+        )
+    return out

@@ -1,0 +1,65 @@
+"""Random number utilities: reproducible streams and block drawing.
+
+All simulators consume randomness through ``numpy.random.Generator``
+instances seeded explicitly — identical seeds give identical
+trajectories on every platform.  For chunk-parallel execution, each
+chunk/worker receives an independent child stream spawned from one
+``SeedSequence`` (the standard recipe for parallel reproducibility).
+
+Trials consume three random quantities: an anchor site, a reaction
+type (rate-weighted) and a waiting-time increment.  The paper's
+algorithms draw these per trial; drawing them in *blocks* is
+semantically identical and an order of magnitude faster in numpy
+(guide idiom: vectorise the loop's random draws, keep the loop for the
+state mutation only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "draw_types",
+    "draw_sites",
+    "draw_exponentials",
+]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed (or pass through a Generator) to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """``n`` statistically independent child generators from one seed."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def draw_types(rng: np.random.Generator, cum: np.ndarray, n: int) -> np.ndarray:
+    """Draw ``n`` reaction-type indices from a cumulative rate table.
+
+    ``cum`` is the output of
+    :func:`repro.core.rates.selection_table`; type ``i`` is selected
+    with probability ``k_i / K``.
+    """
+    u = rng.random(n)
+    return np.searchsorted(cum, u, side="right").astype(np.intp)
+
+
+def draw_sites(rng: np.random.Generator, n_sites: int, n: int) -> np.ndarray:
+    """Draw ``n`` uniformly random anchor sites (flat indices)."""
+    return rng.integers(0, n_sites, size=n, dtype=np.intp)
+
+
+def draw_exponentials(rng: np.random.Generator, rate: float, n: int) -> np.ndarray:
+    """``n`` waiting times with distribution ``1 - exp(-rate * t)``."""
+    if rate <= 0:
+        raise ValueError(f"exponential rate must be positive, got {rate}")
+    return rng.exponential(scale=1.0 / rate, size=n)

@@ -1,0 +1,114 @@
+"""The domain ``D`` of particle types that can occupy a site.
+
+Every site of the lattice takes a value from a finite set ``D``
+(paper, section 2), conventionally containing ``"*"`` for a vacant
+site.  Internally each species is a small unsigned integer so that a
+configuration is a compact ``uint8`` numpy array; the registry maps
+between the human-readable names used in model definitions and the
+integer codes used by the kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["SpeciesRegistry", "EMPTY"]
+
+#: Conventional name of the vacant-site species.
+EMPTY = "*"
+
+
+class SpeciesRegistry:
+    """Bidirectional mapping between species names and ``uint8`` codes.
+
+    Codes are assigned in registration order starting at 0.  The
+    registry is immutable once frozen (models freeze their registry on
+    construction) so that compiled tables can never go stale.
+
+    Examples
+    --------
+    >>> sp = SpeciesRegistry(["*", "CO", "O"])
+    >>> sp.code("CO")
+    1
+    >>> sp.name(2)
+    'O'
+    >>> len(sp)
+    3
+    """
+
+    __slots__ = ("_names", "_codes", "_frozen")
+
+    def __init__(self, names: Iterable[str] = ()):
+        self._names: list[str] = []
+        self._codes: dict[str, int] = {}
+        self._frozen = False
+        for n in names:
+            self.register(n)
+
+    def register(self, name: str) -> int:
+        """Add a species and return its code; idempotent for known names."""
+        if name in self._codes:
+            return self._codes[name]
+        if self._frozen:
+            raise RuntimeError(f"registry is frozen; cannot add species {name!r}")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"species name must be a non-empty string, got {name!r}")
+        code = len(self._names)
+        if code > np.iinfo(np.uint8).max:
+            raise ValueError("more than 256 species are not supported")
+        self._names.append(name)
+        self._codes[name] = code
+        return code
+
+    def freeze(self) -> "SpeciesRegistry":
+        """Disallow further registration; returns self for chaining."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether registration is closed."""
+        return self._frozen
+
+    def code(self, name: str) -> int:
+        """Integer code of a species name."""
+        try:
+            return self._codes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown species {name!r}; known: {self._names}"
+            ) from None
+
+    def name(self, code: int) -> str:
+        """Species name of an integer code."""
+        try:
+            return self._names[int(code)]
+        except IndexError:
+            raise KeyError(f"unknown species code {code}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._codes
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All species names in code order."""
+        return tuple(self._names)
+
+    def __repr__(self) -> str:
+        return f"SpeciesRegistry({self._names!r})"
+
+    def encode(self, names: Iterable[str]) -> np.ndarray:
+        """Vector of codes for a sequence of names (``uint8``)."""
+        return np.array([self.code(n) for n in names], dtype=np.uint8)
+
+    def decode(self, codes: Iterable[int]) -> list[str]:
+        """Names for a sequence of codes."""
+        return [self.name(c) for c in codes]

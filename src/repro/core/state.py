@@ -1,0 +1,185 @@
+"""System states (configurations): assignments of species to sites.
+
+A configuration is a function from the lattice to the species domain
+(paper, section 2); here it is a flat ``uint8`` numpy array of length
+``N`` indexed by flat site index, wrapped together with its lattice and
+species registry so that states can be constructed from and rendered
+back to species names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .lattice import Lattice
+from .species import EMPTY, SpeciesRegistry
+
+__all__ = ["Configuration"]
+
+
+class Configuration:
+    """A mutable lattice configuration backed by a flat ``uint8`` array.
+
+    Simulators mutate ``array`` in place through the kernels; the class
+    provides construction, inspection and measurement conveniences.
+
+    Examples
+    --------
+    >>> from repro.core.lattice import Lattice
+    >>> from repro.core.species import SpeciesRegistry
+    >>> sp = SpeciesRegistry(["*", "CO", "O"]).freeze()
+    >>> c = Configuration.empty(Lattice((2, 2)), sp)
+    >>> c.set((0, 1), "CO")
+    >>> c.coverage("CO")
+    0.25
+    """
+
+    __slots__ = ("lattice", "species", "array")
+
+    def __init__(self, lattice: Lattice, species: SpeciesRegistry, array: np.ndarray):
+        array = np.asarray(array, dtype=np.uint8)
+        if array.shape != (lattice.n_sites,):
+            raise ValueError(
+                f"state array shape {array.shape} does not match "
+                f"{lattice.n_sites} lattice sites (must be flat)"
+            )
+        if array.size and int(array.max()) >= len(species):
+            raise ValueError("state array contains codes outside the species registry")
+        self.lattice = lattice
+        self.species = species
+        self.array = array
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, lattice: Lattice, species: SpeciesRegistry) -> "Configuration":
+        """All sites vacant (species ``"*"``)."""
+        code = species.code(EMPTY)
+        return cls(lattice, species, np.full(lattice.n_sites, code, dtype=np.uint8))
+
+    @classmethod
+    def filled(
+        cls, lattice: Lattice, species: SpeciesRegistry, name: str
+    ) -> "Configuration":
+        """All sites occupied by one species."""
+        code = species.code(name)
+        return cls(lattice, species, np.full(lattice.n_sites, code, dtype=np.uint8))
+
+    @classmethod
+    def random(
+        cls,
+        lattice: Lattice,
+        species: SpeciesRegistry,
+        fractions: Mapping[str, float],
+        rng: np.random.Generator,
+    ) -> "Configuration":
+        """Random i.i.d. configuration with given species fractions.
+
+        Species absent from ``fractions`` get the remaining probability
+        assigned to ``"*"``; fractions must sum to at most 1.
+        """
+        names = list(fractions)
+        probs = np.array([fractions[n] for n in names], dtype=np.float64)
+        if np.any(probs < 0) or probs.sum() > 1.0 + 1e-12:
+            raise ValueError(f"invalid fractions {dict(fractions)}")
+        rest = max(0.0, 1.0 - probs.sum())
+        if EMPTY in names:
+            if rest > 1e-12:
+                raise ValueError("fractions including '*' must sum to 1")
+        else:
+            names.append(EMPTY)
+            probs = np.append(probs, rest)
+        codes = np.array([species.code(n) for n in names], dtype=np.uint8)
+        draw = rng.choice(codes, size=lattice.n_sites, p=probs / probs.sum())
+        return cls(lattice, species, draw.astype(np.uint8))
+
+    @classmethod
+    def from_grid(
+        cls,
+        lattice: Lattice,
+        species: SpeciesRegistry,
+        rows: Sequence[Sequence[str]] | Sequence[str],
+    ) -> "Configuration":
+        """Build from nested species names in lattice shape (2-d) or a flat list (1-d)."""
+        if lattice.ndim == 1:
+            flat = [str(x) for x in rows]  # type: ignore[arg-type]
+        else:
+            flat = [str(x) for row in rows for x in row]  # type: ignore[union-attr]
+        if len(flat) != lattice.n_sites:
+            raise ValueError(
+                f"grid has {len(flat)} entries, lattice has {lattice.n_sites} sites"
+            )
+        return cls(lattice, species, species.encode(flat))
+
+    def copy(self) -> "Configuration":
+        """Deep copy (the array is copied)."""
+        return Configuration(self.lattice, self.species, self.array.copy())
+
+    # ------------------------------------------------------------------
+    # site access
+    # ------------------------------------------------------------------
+    def get(self, site: Sequence[int]) -> str:
+        """Species name at a site (given as coordinates)."""
+        return self.species.name(int(self.array[self.lattice.flat_index(site)]))
+
+    def set(self, site: Sequence[int], name: str) -> None:
+        """Assign a species name to a site."""
+        self.array[self.lattice.flat_index(site)] = self.species.code(name)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def counts(self) -> np.ndarray:
+        """Number of sites per species code (length ``len(species)``)."""
+        return np.bincount(self.array, minlength=len(self.species))
+
+    def coverage(self, name: str) -> float:
+        """Fraction of sites occupied by a species."""
+        code = self.species.code(name)
+        return float(np.count_nonzero(self.array == code)) / self.lattice.n_sites
+
+    def coverages(self, names: Iterable[str] | None = None) -> dict[str, float]:
+        """Coverage of every (or the given) species as a dict."""
+        cnt = self.counts() / self.lattice.n_sites
+        if names is None:
+            names = self.species.names
+        return {n: float(cnt[self.species.code(n)]) for n in names}
+
+    def sites_of(self, name: str) -> np.ndarray:
+        """Flat indices of all sites occupied by a species."""
+        return np.flatnonzero(self.array == self.species.code(name))
+
+    # ------------------------------------------------------------------
+    def grid(self) -> np.ndarray:
+        """The state reshaped to lattice shape (a view onto ``array``)."""
+        return self.lattice.as_grid(self.array)
+
+    def render(self, symbols: Mapping[str, str] | None = None) -> str:
+        """ASCII rendering; one character per site, rows newline-separated.
+
+        By default the first character of each species name is used
+        (``"*"`` renders as ``"."``).
+        """
+        if symbols is None:
+            symbols = {
+                n: ("." if n == EMPTY else n[0]) for n in self.species.names
+            }
+        table = {self.species.code(n): symbols[n] for n in self.species.names}
+        grid = self.grid() if self.lattice.ndim == 2 else self.array.reshape(1, -1)
+        return "\n".join("".join(table[int(v)] for v in row) for row in grid)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Configuration)
+            and other.lattice == self.lattice
+            and bool(np.array_equal(other.array, self.array))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Configuration(lattice={self.lattice!r}, "
+            f"coverages={self.coverages()!r})"
+        )

@@ -1,0 +1,25 @@
+"""Dynamic Monte Carlo simulators and the exact Master Equation."""
+
+from .base import (
+    CoverageObserver,
+    Observer,
+    SimulationResult,
+    SimulatorBase,
+    SnapshotObserver,
+)
+from .frm import FRM
+from .master_equation import MasterEquation
+from .rsm import RSM
+from .vssm import VSSM
+
+__all__ = [
+    "SimulatorBase",
+    "SimulationResult",
+    "Observer",
+    "CoverageObserver",
+    "SnapshotObserver",
+    "RSM",
+    "VSSM",
+    "FRM",
+    "MasterEquation",
+]

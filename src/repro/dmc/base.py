@@ -1,0 +1,316 @@
+"""Shared simulator infrastructure: observers, results, the base class.
+
+All simulation algorithms (DMC and CA alike) share
+
+* a bound :class:`~repro.core.compiled.CompiledModel`,
+* a mutable :class:`~repro.core.state.Configuration`,
+* explicit seeding,
+* a *time mode* — ``"stochastic"`` draws every waiting-time increment
+  from the negative-exponential distribution ``1 - exp(-N K t)`` (the
+  paper's step 5); ``"deterministic"`` uses the fixed discretisation
+  step ``1/(N K)`` per trial (the paper's "time discretisation of the
+  ME" reading) — useful for variance-free curve comparisons,
+* observers sampled on a fixed simulation-time grid,
+* an optional event trace for the waiting-time correctness analyses.
+
+Concrete algorithms implement :meth:`SimulatorBase._step_block`, which
+advances the state by one algorithm-specific unit of work (a block of
+RSM trials, a CA step, ...) and returns the number of trials attempted.
+"""
+
+from __future__ import annotations
+
+import time as _wall
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.compiled import CompiledModel
+from ..core.events import EventTrace
+from ..core.lattice import Lattice
+from ..core.model import Model
+from ..core.rng import make_rng
+from ..core.state import Configuration
+
+__all__ = ["Observer", "CoverageObserver", "SnapshotObserver", "SimulationResult", "SimulatorBase"]
+
+
+class Observer(ABC):
+    """Samples quantities on a fixed simulation-time grid.
+
+    A simulator calls :meth:`sample` exactly once per grid time, in
+    increasing order, passing the state *at the moment the grid time
+    was crossed*.
+    """
+
+    def __init__(self, interval: float, t0: float = 0.0):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.t0 = float(t0)
+        self._k = 0  # grid points sampled so far
+
+    @property
+    def next_due(self) -> float:
+        """Next grid time (computed multiplicatively: no float drift)."""
+        return self.t0 + self._k * self.interval
+
+    def start(self, sim: "SimulatorBase") -> None:
+        """Hook called once before the run starts."""
+
+    def maybe_sample(self, t: float, state: Configuration) -> None:
+        """Sample at every grid point up to and including time ``t``."""
+        while self.next_due <= t:
+            self.sample(self.next_due, state)
+            self._k += 1
+
+    @abstractmethod
+    def sample(self, t: float, state: Configuration) -> None:
+        """Record one sample (state as of grid time ``t``)."""
+
+    @abstractmethod
+    def data(self) -> dict:
+        """Collected data as plain arrays (merged into the result)."""
+
+
+class CoverageObserver(Observer):
+    """Records species coverages theta_X(t) on a uniform time grid."""
+
+    def __init__(self, interval: float, species: Sequence[str] | None = None, t0: float = 0.0):
+        super().__init__(interval, t0)
+        self.species = tuple(species) if species is not None else None
+        self._times: list[float] = []
+        self._rows: list[np.ndarray] = []
+        self._names: tuple[str, ...] = ()
+
+    def start(self, sim: "SimulatorBase") -> None:
+        """Resolve species codes before the run starts."""
+        names = sim.model.species.names
+        self._names = self.species if self.species is not None else names
+        self._codes = np.array(
+            [sim.model.species.code(n) for n in self._names], dtype=np.intp
+        )
+        self._n_all = len(names)
+
+    def sample(self, t: float, state: Configuration) -> None:
+        """Record one coverage row at grid time ``t``."""
+        counts = np.bincount(state.array, minlength=self._n_all)
+        self._times.append(t)
+        self._rows.append(counts[self._codes] / state.lattice.n_sites)
+
+    def data(self) -> dict:
+        """Sampled grid times plus one coverage series per species."""
+        times = np.array(self._times)
+        if self._rows:
+            block = np.vstack(self._rows)
+        else:
+            block = np.empty((0, len(self._names)))
+        cov = {n: block[:, i] for i, n in enumerate(self._names)}
+        return {"times": times, "coverage": cov}
+
+
+class SnapshotObserver(Observer):
+    """Stores full configuration snapshots on a time grid (small lattices)."""
+
+    def __init__(self, interval: float, t0: float = 0.0):
+        super().__init__(interval, t0)
+        self._times: list[float] = []
+        self._states: list[np.ndarray] = []
+
+    def sample(self, t: float, state: Configuration) -> None:
+        """Store a copy of the configuration at grid time ``t``."""
+        self._times.append(t)
+        self._states.append(state.array.copy())
+
+    def data(self) -> dict:
+        """Snapshot times and the stacked configuration array."""
+        return {
+            "snapshot_times": np.array(self._times),
+            "snapshots": np.array(self._states) if self._states else np.empty((0, 0)),
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    algorithm: str
+    model_name: str
+    lattice_shape: tuple[int, ...]
+    seed: int | None
+    final_time: float
+    n_trials: int
+    n_executed: int
+    executed_per_type: np.ndarray
+    wall_time: float
+    final_state: Configuration
+    times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    coverage: dict[str, np.ndarray] = field(default_factory=dict)
+    events: EventTrace | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mc_steps(self) -> float:
+        """Trials per site: one MC step is ``N`` trials (paper, section 3)."""
+        n = int(np.prod(self.lattice_shape))
+        return self.n_trials / n
+
+    @property
+    def acceptance(self) -> float:
+        """Fraction of trials that executed a reaction."""
+        return self.n_executed / self.n_trials if self.n_trials else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary of the run."""
+        lines = [
+            f"{self.algorithm} on {self.model_name} {self.lattice_shape}: "
+            f"t={self.final_time:g}, {self.n_trials} trials "
+            f"({self.mc_steps:.1f} MC steps), acceptance {self.acceptance:.3f}, "
+            f"wall {self.wall_time:.2f}s"
+        ]
+        cov = self.final_state.coverages()
+        lines.append("final coverages: " + ", ".join(f"{k}={v:.3f}" for k, v in cov.items()))
+        return "\n".join(lines)
+
+
+class SimulatorBase(ABC):
+    """Base class for all simulation algorithms.
+
+    Parameters
+    ----------
+    model, lattice:
+        The model and the lattice to bind it to.
+    seed:
+        Seed for the run's random generator (or a Generator).
+    initial:
+        Starting configuration; defaults to the all-vacant state.
+    time_mode:
+        ``"stochastic"`` (exponential waiting times, default) or
+        ``"deterministic"`` (fixed ``1/(N K)`` per trial).
+    observers:
+        Observers sampled during the run.
+    record_events:
+        Collect an :class:`EventTrace` of executed reactions.
+    """
+
+    #: short algorithm label, set by subclasses
+    algorithm: str = "?"
+
+    def __init__(
+        self,
+        model: Model,
+        lattice: Lattice,
+        seed: int | np.random.Generator | None = None,
+        initial: Configuration | None = None,
+        time_mode: str = "stochastic",
+        observers: Iterable[Observer] = (),
+        record_events: bool = False,
+    ):
+        if time_mode not in ("stochastic", "deterministic"):
+            raise ValueError(f"unknown time mode {time_mode!r}")
+        self.model = model
+        self.lattice = lattice
+        self.compiled: CompiledModel = model.compile(lattice)
+        if initial is None:
+            # all-vacant by convention; models without a "*" species
+            # start uniformly in their first species
+            from ..core.species import EMPTY
+
+            if EMPTY in model.species:
+                self.state = Configuration.empty(lattice, model.species)
+            else:
+                self.state = Configuration.filled(
+                    lattice, model.species, model.species.names[0]
+                )
+        else:
+            if initial.lattice != lattice:
+                raise ValueError("initial configuration is on a different lattice")
+            self.state = initial.copy()
+        self.seed = seed if isinstance(seed, int) or seed is None else None
+        self.rng = make_rng(seed)
+        self.time_mode = time_mode
+        self.observers = list(observers)
+        self.trace = EventTrace() if record_events else None
+        self.time = 0.0
+        self.n_trials = 0
+        self.executed_per_type = np.zeros(model.n_types, dtype=np.int64)
+
+        #: rate of the per-trial waiting-time distribution, N * K
+        self.nk_rate = lattice.n_sites * self.compiled.total_rate
+
+    # ------------------------------------------------------------------
+    @property
+    def n_executed(self) -> int:
+        """Total executed reactions so far."""
+        return int(self.executed_per_type.sum())
+
+    def time_increment(self, n_trials: int) -> float:
+        """Elapsed simulation time for a number of trials.
+
+        Stochastic mode draws the sum of ``n_trials`` exponentials
+        (a Gamma variate — one draw instead of ``n_trials``);
+        deterministic mode returns ``n_trials / (N K)``.
+        """
+        if n_trials <= 0:
+            return 0.0
+        if self.time_mode == "stochastic":
+            return float(self.rng.gamma(shape=n_trials, scale=1.0 / self.nk_rate))
+        return n_trials / self.nk_rate
+
+    def _notify(self) -> None:
+        """Let observers sample every grid point crossed so far."""
+        for obs in self.observers:
+            obs.maybe_sample(self.time, self.state)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _step_block(self, until: float) -> int:
+        """Advance by one unit of work, not (far) beyond ``until``.
+
+        Must update ``self.time``, ``self.n_trials``,
+        ``self.executed_per_type`` and the state; returns the number of
+        trials attempted (0 signals that no progress is possible).
+        """
+
+    def run(self, until: float, max_steps: int | None = None) -> SimulationResult:
+        """Simulate until the given simulation time (or ``max_steps`` blocks)."""
+        if until <= self.time:
+            raise ValueError(f"until={until} is not beyond current time {self.time}")
+        for obs in self.observers:
+            obs.start(self)
+        wall0 = _wall.perf_counter()
+        steps = 0
+        self._notify()
+        while self.time < until:
+            n = self._step_block(until)
+            self._notify()
+            steps += 1
+            if n == 0:
+                break  # absorbing state or no work possible
+            if max_steps is not None and steps >= max_steps:
+                break
+        wall = _wall.perf_counter() - wall0
+        return self._result(wall)
+
+    def _result(self, wall: float) -> SimulationResult:
+        data: dict = {}
+        for obs in self.observers:
+            data.update(obs.data())
+        return SimulationResult(
+            algorithm=self.algorithm,
+            model_name=self.model.name,
+            lattice_shape=self.lattice.shape,
+            seed=self.seed,
+            final_time=self.time,
+            n_trials=self.n_trials,
+            n_executed=self.n_executed,
+            executed_per_type=self.executed_per_type.copy(),
+            wall_time=wall,
+            final_state=self.state,
+            times=data.pop("times", np.empty(0)),
+            coverage=data.pop("coverage", {}),
+            events=self.trace,
+            extra=data,
+        )

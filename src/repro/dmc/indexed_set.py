@@ -1,0 +1,68 @@
+"""An indexed set: O(1) add/discard/membership plus O(1) random choice.
+
+The event-driven DMC methods (VSSM, FRM) maintain, per reaction type,
+the set of anchor sites where the type is currently enabled, and must
+repeatedly *select a uniformly random member*.  Python sets cannot be
+sampled in O(1); the standard remedy is a list with a position map and
+swap-with-last removal, implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IndexedSet"]
+
+
+class IndexedSet:
+    """A set of hashable items supporting O(1) uniform random choice."""
+
+    __slots__ = ("_items", "_pos")
+
+    def __init__(self, items=()):
+        self._items: list = []
+        self._pos: dict = {}
+        for x in items:
+            self.add(x)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, x) -> bool:
+        return x in self._pos
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def add(self, x) -> bool:
+        """Insert; returns True if the item was new."""
+        if x in self._pos:
+            return False
+        self._pos[x] = len(self._items)
+        self._items.append(x)
+        return True
+
+    def discard(self, x) -> bool:
+        """Remove if present (swap-with-last); returns True if removed."""
+        pos = self._pos.pop(x, None)
+        if pos is None:
+            return False
+        last = self._items.pop()
+        if pos < len(self._items):
+            self._items[pos] = last
+            self._pos[last] = pos
+        return True
+
+    def choose(self, rng: np.random.Generator):
+        """Uniformly random member (the set must be non-empty)."""
+        if not self._items:
+            raise IndexError("choose from an empty IndexedSet")
+        return self._items[int(rng.integers(0, len(self._items)))]
+
+    def clear(self) -> None:
+        """Remove all items."""
+        self._items.clear()
+        self._pos.clear()
+
+    def __repr__(self) -> str:
+        return f"IndexedSet(n={len(self._items)})"

@@ -1,0 +1,88 @@
+"""Fig. 3: the 1-d Block CA with three-site blocks.
+
+The paper's example: nine sites, states 0/1, rule "a site becomes 0 if
+at least one of its neighbours is 0"; the BCA applies the rule within
+blocks of three and shifts the block boundaries between steps.  The
+driver replays the figure from its initial row and also contrasts the
+BCA against the plain synchronous (global-neighbour) CA to show how
+the shifting boundaries let information cross block edges over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ca.bca import BlockCA
+from ..core.lattice import Lattice
+from ..models.majority import FIG3_INITIAL, zero_spreads_block_rule, zero_spreads_global
+
+__all__ = ["Fig3Result", "run_fig3", "fig3_report"]
+
+
+@dataclass
+class Fig3Result:
+    """Step-by-step histories of the BCA and the global-rule reference."""
+    history_bca: list[np.ndarray]     # state after each BCA step
+    history_global: list[np.ndarray]  # state after each global-CA step
+    steps_to_fixpoint_bca: int
+    steps_to_fixpoint_global: int
+
+
+def run_fig3(n_steps: int = 8) -> Fig3Result:
+    """Replay Fig. 3 and the global-rule reference from the same start."""
+    lattice = Lattice((len(FIG3_INITIAL),))
+    bca = BlockCA(lattice, block_shape=(3,), rule=zero_spreads_block_rule)
+    state = FIG3_INITIAL.copy()
+    history_bca = bca.run(state, n_steps)
+
+    g = FIG3_INITIAL.copy()
+    history_global = []
+    for _ in range(n_steps):
+        g = zero_spreads_global(g)
+        history_global.append(g.copy())
+
+    def fixpoint(hist: list[np.ndarray]) -> int:
+        prev = FIG3_INITIAL
+        for i, h in enumerate(hist):
+            if np.array_equal(h, prev):
+                return i
+            prev = h
+        return len(hist)
+
+    return Fig3Result(
+        history_bca=history_bca,
+        history_global=history_global,
+        steps_to_fixpoint_bca=fixpoint(history_bca),
+        steps_to_fixpoint_global=fixpoint(history_global),
+    )
+
+
+def fig3_report(result: Fig3Result | None = None) -> str:
+    """Render the Fig. 3 replay (runs with defaults when no result given)."""
+    r = result or run_fig3()
+
+    def row(arr: np.ndarray) -> str:
+        return " ".join(str(int(v)) for v in arr)
+
+    lines = ["Fig. 3 - 1-d Block CA, blocks of three, shifting boundaries", ""]
+    lines.append("initial : " + row(FIG3_INITIAL))
+    for i, h in enumerate(r.history_bca):
+        lines.append(f"BCA {i + 1:4d} : {row(h)}")
+    lines.append("")
+    lines.append("global-rule reference (no blocks):")
+    lines.append("initial : " + row(FIG3_INITIAL))
+    for i, h in enumerate(r.history_global):
+        lines.append(f"CA  {i + 1:4d} : {row(h)}")
+    lines.append("")
+    lines.append(
+        f"fixpoint reached after {r.steps_to_fixpoint_bca} BCA steps vs "
+        f"{r.steps_to_fixpoint_global} global steps (blocks slow the spread "
+        "of zeros across block edges; the shifting boundaries keep it moving)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(fig3_report())

@@ -1,0 +1,16 @@
+"""I/O helpers: result archives, plain-text reports, ASCII time-lapses."""
+
+from .animation import default_symbols, render_frames, side_by_side
+from .report import format_series, format_surface, format_table
+from .trace import load_result_data, save_result
+
+__all__ = [
+    "save_result",
+    "load_result_data",
+    "format_table",
+    "format_series",
+    "format_surface",
+    "render_frames",
+    "side_by_side",
+    "default_symbols",
+]

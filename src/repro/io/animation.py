@@ -1,0 +1,93 @@
+"""Time-lapse rendering of configuration snapshots.
+
+Turns the output of a :class:`~repro.dmc.base.SnapshotObserver` into
+ASCII frames — the quickest way to *see* what a simulation did
+(poisoning fronts invading the ZGB lattice, hex/1x1 phase waves on
+Pt(100)) without any plotting dependency.  Frames are plain strings;
+:func:`side_by_side` arranges a few of them horizontally for compact
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.lattice import Lattice
+from ..core.species import SpeciesRegistry
+
+__all__ = ["render_frames", "side_by_side", "default_symbols"]
+
+
+def default_symbols(species: SpeciesRegistry) -> dict[str, str]:
+    """One display character per species (``"*"`` renders as ``"."``)."""
+    out = {}
+    used: set[str] = set()
+    for name in species.names:
+        ch = "." if name == "*" else name[0]
+        if ch in used:  # fall back to uppercase/lowercase variants
+            alt = ch.swapcase()
+            ch = alt if alt not in used else next(
+                c for c in "0123456789#@%&+=?" if c not in used
+            )
+        used.add(ch)
+        out[name] = ch
+    return out
+
+
+def render_frames(
+    lattice: Lattice,
+    species: SpeciesRegistry,
+    snapshots: np.ndarray,
+    times: Sequence[float] | None = None,
+    symbols: Mapping[str, str] | None = None,
+    max_frames: int = 6,
+) -> list[str]:
+    """Render snapshots (``(n, N)`` codes) into labelled ASCII frames.
+
+    At most ``max_frames`` frames are kept (evenly spaced through the
+    trajectory).  Each frame is headed by its simulation time when
+    ``times`` is given.
+    """
+    snapshots = np.asarray(snapshots)
+    if snapshots.ndim != 2 or snapshots.shape[1] != lattice.n_sites:
+        raise ValueError(
+            f"snapshots must have shape (n, {lattice.n_sites}), got {snapshots.shape}"
+        )
+    if times is not None and len(times) != len(snapshots):
+        raise ValueError("times and snapshots must have equal length")
+    syms = dict(symbols) if symbols is not None else default_symbols(species)
+    table = {species.code(n): syms[n] for n in species.names}
+    n = len(snapshots)
+    keep = np.unique(np.linspace(0, n - 1, min(max_frames, n)).astype(int))
+    frames = []
+    for i in keep:
+        grid = (
+            lattice.as_grid(snapshots[i])
+            if lattice.ndim == 2
+            else snapshots[i].reshape(1, -1)
+        )
+        body = "\n".join(
+            "".join(table[int(v)] for v in row) for row in grid
+        )
+        header = f"t = {times[i]:g}" if times is not None else f"frame {i}"
+        frames.append(header + "\n" + body)
+    return frames
+
+
+def side_by_side(frames: Sequence[str], gap: str = "   ") -> str:
+    """Arrange rendered frames horizontally (pad to equal height)."""
+    if not frames:
+        return ""
+    split = [f.splitlines() for f in frames]
+    height = max(len(s) for s in split)
+    widths = [max((len(line) for line in s), default=0) for s in split]
+    rows = []
+    for r in range(height):
+        cells = [
+            (s[r] if r < len(s) else "").ljust(w)
+            for s, w in zip(split, widths)
+        ]
+        rows.append(gap.join(cells).rstrip())
+    return "\n".join(rows)

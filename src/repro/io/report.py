@@ -1,0 +1,79 @@
+"""Plain-text reporting: aligned tables and time-series blocks.
+
+All experiment drivers print their results through these helpers so
+that the reproduction's tables/series look uniform (and diff cleanly
+between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_surface"]
+
+
+def _render(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with a header rule, columns auto-width."""
+    rendered = [[_render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row} does not match headers {headers}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines += [fmt_row(r) for r in rendered]
+    return "\n".join(lines)
+
+
+def format_series(
+    times: np.ndarray,
+    series: dict[str, np.ndarray],
+    max_rows: int = 40,
+    time_label: str = "time",
+) -> str:
+    """Tabulate named time series, down-sampled to at most ``max_rows``."""
+    times = np.asarray(times)
+    n = len(times)
+    if n == 0:
+        return "(empty series)"
+    stride = max(1, int(np.ceil(n / max_rows)))
+    idx = np.arange(0, n, stride)
+    headers = [time_label] + list(series)
+    rows = [
+        [times[i]] + [np.asarray(series[k])[i] for k in series] for i in idx
+    ]
+    return format_table(headers, rows)
+
+
+def format_surface(
+    row_label: str,
+    rows: Sequence,
+    col_label: str,
+    cols: Sequence,
+    surface: np.ndarray,
+) -> str:
+    """Tabulate a 2-d surface (e.g. the Fig. 7 speedup table)."""
+    surface = np.asarray(surface)
+    if surface.shape != (len(rows), len(cols)):
+        raise ValueError(
+            f"surface shape {surface.shape} does not match axes "
+            f"({len(rows)}, {len(cols)})"
+        )
+    headers = [f"{row_label}\\{col_label}"] + [_render(c) for c in cols]
+    body = [[r] + list(surface[i]) for i, r in enumerate(rows)]
+    return format_table(headers, body)

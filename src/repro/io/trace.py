@@ -1,0 +1,86 @@
+"""Saving and loading simulation results (npz archives).
+
+Long runs (the Fig. 8-10 curves) are expensive; persisting their
+sampled coverages and event traces lets benches and notebooks reload
+instead of re-simulating.  The format is a flat ``numpy.savez``
+archive with a small JSON header — no pickle, so archives are
+portable and safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.events import EventTrace
+from ..dmc.base import SimulationResult
+
+__all__ = ["save_result", "load_result_data"]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(path: str | Path, result: SimulationResult) -> Path:
+    """Write a result's metadata, coverage series and events to ``path``.
+
+    The final configuration array is stored as well; the lattice /
+    species objects are not (reconstruct them from the model when
+    needed).
+    """
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "model_name": result.model_name,
+        "lattice_shape": list(result.lattice_shape),
+        "seed": result.seed,
+        "final_time": result.final_time,
+        "n_trials": result.n_trials,
+        "n_executed": result.n_executed,
+        "wall_time": result.wall_time,
+        "coverage_species": list(result.coverage),
+    }
+    payload: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        "times": result.times,
+        "executed_per_type": result.executed_per_type,
+        "final_state": result.final_state.array,
+    }
+    for name, series in result.coverage.items():
+        payload[f"coverage/{name}"] = series
+    if result.events is not None:
+        payload["events/times"] = result.events.times
+        payload["events/types"] = result.events.type_indices
+        payload["events/sites"] = result.events.sites
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_result_data(path: str | Path) -> dict:
+    """Load an archive written by :func:`save_result`.
+
+    Returns a plain dict: the header fields plus ``times``,
+    ``coverage`` (dict of arrays), ``executed_per_type``,
+    ``final_state`` (flat codes) and optionally ``events`` (an
+    :class:`EventTrace`).
+    """
+    with np.load(Path(path)) as z:
+        header = json.loads(bytes(z["header"]).decode())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive version {header.get('format_version')}"
+            )
+        out: dict = dict(header)
+        out["times"] = z["times"]
+        out["executed_per_type"] = z["executed_per_type"]
+        out["final_state"] = z["final_state"]
+        out["coverage"] = {
+            name: z[f"coverage/{name}"] for name in header["coverage_species"]
+        }
+        if "events/times" in z:
+            trace = EventTrace(capacity=max(1, len(z["events/times"])))
+            trace.extend(z["events/times"], z["events/types"], z["events/sites"])
+            out["events"] = trace
+    return out

@@ -1,0 +1,30 @@
+"""Surface-reaction models: ZGB/Ziff, Pt(100) reconstruction, and probes."""
+
+from .diffusion import diffusion_model_1d, diffusion_model_2d, random_gas
+from .ising import ising_model_2d, magnetization, random_spins
+from .majority import FIG3_INITIAL, zero_spreads_block_rule, zero_spreads_global
+from .pt100 import OSCILLATING, hex_surface, mean_field_rhs, pt100_model
+from .single_file import equally_spaced, single_file_model, tracer_displacements
+from .zgb import empty_surface, zgb_model, ziff_model
+
+__all__ = [
+    "ziff_model",
+    "zgb_model",
+    "empty_surface",
+    "pt100_model",
+    "hex_surface",
+    "mean_field_rhs",
+    "OSCILLATING",
+    "diffusion_model_1d",
+    "diffusion_model_2d",
+    "random_gas",
+    "ising_model_2d",
+    "magnetization",
+    "random_spins",
+    "single_file_model",
+    "equally_spaced",
+    "tracer_displacements",
+    "zero_spreads_block_rule",
+    "zero_spreads_global",
+    "FIG3_INITIAL",
+]

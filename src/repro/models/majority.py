@@ -1,0 +1,62 @@
+"""The 1-d "zero spreads" rule of the paper's Block-CA example (Fig. 3).
+
+The rule: the state of a site (0 or 1) becomes 0 if at least one of its
+neighbours is 0, otherwise it stays the same.  Fig. 3 demonstrates a
+Block CA applying this rule *within* 3-site blocks, alternating the
+block boundaries between steps so the zeros can spread across block
+edges over time.
+
+Two forms are provided:
+
+* :func:`zero_spreads_block_rule` — the block rule for
+  :class:`repro.ca.bca.BlockCA` (neighbours restricted to the block,
+  exactly as in Fig. 3);
+* :func:`zero_spreads_global` — the plain synchronous CA rule on the
+  whole (periodic) lattice, the reference dynamics the BCA
+  approximates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zero_spreads_block_rule",
+    "zero_spreads_global",
+    "FIG3_INITIAL",
+]
+
+#: The initial 9-site configuration of the paper's Fig. 3 (top row).
+FIG3_INITIAL = np.array([0, 1, 1, 1, 1, 1, 0, 1, 1], dtype=np.uint8)
+
+
+def zero_spreads_block_rule(blocks: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Apply "becomes 0 if a neighbour in the block is 0" within each block.
+
+    ``blocks`` has shape ``(n_blocks, block_len)``.  Neighbours outside
+    the block are invisible (that is the point of the BCA); boundary
+    sites of a block only see their single in-block neighbour.
+    """
+    if blocks.ndim != 2:
+        raise ValueError("the zero-spreads rule is 1-d (blocks of shape (n, b))")
+    b = blocks.shape[1]
+    out = blocks.copy()
+    if b == 1:
+        return out  # no in-block neighbours: nothing can change
+    left_zero = np.zeros_like(blocks, dtype=bool)
+    right_zero = np.zeros_like(blocks, dtype=bool)
+    left_zero[:, 1:] = blocks[:, :-1] == 0
+    right_zero[:, :-1] = blocks[:, 1:] == 0
+    out[left_zero | right_zero] = 0
+    return out
+
+
+def zero_spreads_global(state: np.ndarray) -> np.ndarray:
+    """One synchronous step of the rule on the full periodic 1-d lattice."""
+    state = np.asarray(state)
+    if state.ndim != 1:
+        raise ValueError("expected a 1-d state")
+    zero_nbr = (np.roll(state, 1) == 0) | (np.roll(state, -1) == 0)
+    out = state.copy()
+    out[zero_nbr] = 0
+    return out

@@ -1,0 +1,26 @@
+"""Parallel execution substrates: machine model, shared-memory executor, DD."""
+
+from .domain import DomainDecomposedRSM
+from .executor import ParallelChunkExecutor, ParallelPNDCA
+from .machine import DEFAULT_2003, MachineSpec, pndca_step_time, speedup, speedup_surface
+from .scaling import efficiency, isoefficiency_sites, strong_scaling, weak_scaling
+from .speedup import calibrated_spec, fig7_surface, measure_acceptance, measure_t_trial
+
+__all__ = [
+    "MachineSpec",
+    "DEFAULT_2003",
+    "pndca_step_time",
+    "speedup",
+    "speedup_surface",
+    "ParallelChunkExecutor",
+    "ParallelPNDCA",
+    "DomainDecomposedRSM",
+    "measure_t_trial",
+    "measure_acceptance",
+    "calibrated_spec",
+    "fig7_surface",
+    "efficiency",
+    "strong_scaling",
+    "weak_scaling",
+    "isoefficiency_sites",
+]

@@ -1,0 +1,128 @@
+"""A simulated parallel machine: the cost model behind Fig. 7.
+
+The paper reports wall-clock speedups ``T(1,N)/T(p,N)`` of PNDCA on a
+real parallel computer with ``p = 2..10`` processors.  No such machine
+exists in this environment (single CPU, GIL), so — per the
+reproduction's substitution policy — the *structure* of the parallel
+execution is modelled explicitly and the speedup surface is generated
+from the model (see DESIGN.md, "Substitutions").
+
+The model contains exactly the cost terms of the partitioned
+algorithm; per simulation step, each chunk ``P_i`` costs::
+
+    t_chunk = ceil(|P_i| / p) * t_trial     -- perfectly parallel trials
+            + (p > 1) * (t_latency * ceil(log2 p)   -- barrier/sync rounds
+            + t_update * a * |P_i|)          -- propagating the executed
+                                                updates to all processors
+                                                (allgather volume; a is the
+                                                trial acceptance ratio)
+
+and a step costs the sum over chunks.  There is **no chunk-boundary
+halo exchange** — that is the point of conflict-free partitions; the
+only communication is the state-update dissemination after each chunk
+plus the synchronisation barrier.
+
+Calibration: ``t_trial`` should be *measured* from this package's real
+kernels (:func:`repro.parallel.speedup.measure_t_trial`);
+``t_latency``/``t_update`` default to values typical of the 2003-era
+Beowulf clusters the paper targets (tens of microseconds message
+latency, ~10 MB/s effective per-site update dissemination), chosen so
+the surface reproduces the paper's *shape*: speedup growing with both
+``N`` and ``p``, saturating around 7-8 at ``p = 10`` for the largest
+lattices (1000 x 1000).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MachineSpec", "DEFAULT_2003", "pndca_step_time", "speedup", "speedup_surface"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Cost constants of the modelled parallel machine.
+
+    All times in seconds.
+    """
+
+    #: time of one site trial (selection + match + execute) on one processor
+    t_trial: float = 1.2e-6
+    #: per-message latency of a synchronisation round
+    t_latency: float = 4.0e-4
+    #: per-updated-site cost of disseminating state updates to the peers
+    t_update: float = 2.6e-7
+    #: expected fraction of trials that execute a reaction
+    acceptance: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in ("t_trial", "t_latency", "t_update"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.acceptance <= 1.0:
+            raise ValueError("acceptance must be in [0, 1]")
+
+
+#: Constants calibrated to the paper's Fig. 7 regime (see module docstring).
+DEFAULT_2003 = MachineSpec()
+
+
+def pndca_step_time(
+    spec: MachineSpec, chunk_sizes: np.ndarray | list[int], p: int
+) -> float:
+    """Modelled wall-clock time of one PNDCA step on ``p`` processors."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    total = 0.0
+    for size in np.asarray(chunk_sizes, dtype=np.int64):
+        work = math.ceil(int(size) / p) * spec.t_trial
+        if p > 1:
+            sync = spec.t_latency * math.ceil(math.log2(p))
+            comm = spec.t_update * spec.acceptance * int(size)
+        else:
+            sync = comm = 0.0
+        total += work + sync + comm
+    return total
+
+
+def speedup(spec: MachineSpec, n_sites: int, p: int, m: int = 5) -> float:
+    """Modelled speedup ``T(1, N) / T(p, N)`` for equal chunks.
+
+    ``n_sites`` is the total lattice size ``N = L0 * L1``; ``m`` the
+    number of chunks of the partition (5 for the Fig. 4 partition).
+    The number of steps cancels in the ratio.
+    """
+    if n_sites < m:
+        raise ValueError(f"lattice of {n_sites} sites cannot have {m} chunks")
+    sizes = _equal_chunks(n_sites, m)
+    return pndca_step_time(spec, sizes, 1) / pndca_step_time(spec, sizes, p)
+
+
+def speedup_surface(
+    spec: MachineSpec,
+    sides: list[int],
+    ps: list[int],
+    m: int = 5,
+) -> np.ndarray:
+    """Speedup ``T(1,N)/T(p,N)`` over a grid of lattice sides and ``p``.
+
+    Returns an array of shape ``(len(sides), len(ps))`` — the Fig. 7
+    surface (the paper's axis ``N`` is the lattice side; the lattice is
+    ``N x N``).
+    """
+    out = np.empty((len(sides), len(ps)))
+    for i, side in enumerate(sides):
+        for j, p in enumerate(ps):
+            out[i, j] = speedup(spec, side * side, p, m)
+    return out
+
+
+def _equal_chunks(n_sites: int, m: int) -> np.ndarray:
+    """Chunk sizes as equal as possible (sum = n_sites)."""
+    base = n_sites // m
+    sizes = np.full(m, base, dtype=np.int64)
+    sizes[: n_sites - base * m] += 1
+    return sizes

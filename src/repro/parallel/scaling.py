@@ -1,0 +1,104 @@
+"""Scaling analysis on the modelled parallel machine.
+
+Fig. 7 reports the raw speedup surface; this module derives the
+standard parallel-computing quantities from the same cost model:
+
+* **parallel efficiency** ``E(N, p) = S(N, p) / p``;
+* **strong scaling**: speedup at fixed problem size as p grows
+  (saturates — the latency/update overheads per chunk are fixed);
+* **weak scaling**: efficiency at fixed work per processor
+  (``N = n0 * p`` sites);
+* **isoefficiency**: the lattice size needed to hold a target
+  efficiency as p grows — how fast the problem must grow to keep the
+  machine busy, the classical Grama/Gupta/Kumar metric.
+
+All of it follows analytically from
+:func:`repro.parallel.machine.pndca_step_time`; the functions here
+evaluate and tabulate it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .machine import MachineSpec, speedup
+
+__all__ = [
+    "efficiency",
+    "strong_scaling",
+    "weak_scaling",
+    "isoefficiency_sites",
+]
+
+
+def efficiency(spec: MachineSpec, n_sites: int, p: int, m: int = 5) -> float:
+    """Parallel efficiency ``S(N, p) / p`` in (0, 1]."""
+    return speedup(spec, n_sites, p, m) / p
+
+
+def strong_scaling(
+    spec: MachineSpec, n_sites: int, ps: list[int], m: int = 5
+) -> list[tuple[int, float, float]]:
+    """(p, speedup, efficiency) rows at a fixed lattice size."""
+    out = []
+    for p in ps:
+        s = speedup(spec, n_sites, p, m)
+        out.append((p, s, s / p))
+    return out
+
+
+def weak_scaling(
+    spec: MachineSpec, sites_per_processor: int, ps: list[int], m: int = 5
+) -> list[tuple[int, int, float]]:
+    """(p, N, efficiency) rows with the work per processor held fixed.
+
+    The modelled PNDCA weak-scales well: the per-chunk compute grows
+    with N/p (held constant) while only the ``log2 p`` barrier term and
+    the update dissemination grow.
+    """
+    out = []
+    for p in ps:
+        n = sites_per_processor * p
+        if n < m:
+            raise ValueError(
+                f"{sites_per_processor} sites/processor x {p} < {m} chunks"
+            )
+        out.append((p, n, efficiency(spec, n, p, m)))
+    return out
+
+
+def isoefficiency_sites(
+    spec: MachineSpec,
+    target_efficiency: float,
+    ps: list[int],
+    m: int = 5,
+    max_sites: int = 10**9,
+) -> list[tuple[int, int | None]]:
+    """Smallest lattice size reaching a target efficiency, per p.
+
+    Returns (p, N) rows; ``N`` is None when even ``max_sites`` cannot
+    reach the target (the efficiency ceiling
+    ``1 / (1 + p * acceptance * t_update / t_trial)`` lies below it).
+    Found by bisection on N — efficiency is monotone in N.
+    """
+    if not 0.0 < target_efficiency < 1.0:
+        raise ValueError("target efficiency must be in (0, 1)")
+    out: list[tuple[int, int | None]] = []
+    for p in ps:
+        lo, hi = m, max_sites
+        if efficiency(spec, hi, p, m) < target_efficiency:
+            out.append((p, None))
+            continue
+        if efficiency(spec, lo, p, m) >= target_efficiency:
+            out.append((p, lo))
+            continue
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if efficiency(spec, mid, p, m) >= target_efficiency:
+                hi = mid
+            else:
+                lo = mid
+        out.append((p, hi))
+    return out

@@ -1,0 +1,127 @@
+"""Conflict graphs and graph-colouring construction of partitions.
+
+The non-overlap rule induces a *conflict graph* on the lattice sites:
+``s ~ t`` iff some pair of reaction types anchored at ``s`` and ``t``
+touches a common site (equivalently ``t - s`` lies in the difference
+set of the union neighborhood).  A partition into conflict-free chunks
+is exactly a proper colouring of this graph, and minimising the number
+of chunks ``|P|`` is graph colouring — NP-hard in general, but the
+translation-invariant structure makes good colourings easy:
+
+* greedy colouring (via ``networkx``) gives an upper bound and a
+  usable partition for *any* model;
+* the maximum clique through a site gives a lower bound on ``|P|``
+  (for the von-Neumann pair neighborhood of the CO-oxidation model the
+  bound is 5, met by the modular tiling of Fig. 4 — see
+  :mod:`repro.partition.tilings`).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..core.lattice import Lattice, Offset
+from ..core.model import Model
+from .partition import Partition, conflict_displacements
+
+__all__ = [
+    "conflict_graph",
+    "greedy_partition",
+    "clique_lower_bound",
+    "chunk_count_bounds",
+]
+
+
+def conflict_graph(lattice: Lattice, model: Model) -> nx.Graph:
+    """The conflict graph of a model on a lattice.
+
+    Nodes are flat site indices; edges connect conflicting site pairs.
+    Size is ``O(N * |D|)`` edges — fine for the lattice sizes used to
+    *construct* partitions (a partition found on a small tile is then
+    replicated, see :func:`repro.partition.tilings.tile_partition`).
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(lattice.n_sites))
+    displacements = conflict_displacements(model.union_neighborhood())
+    base = lattice.all_flat()
+    for d in displacements:
+        targets = lattice.neighbor_map(d)
+        mask = targets != base  # ignore self-wraps on tiny lattices
+        g.add_edges_from(zip(base[mask].tolist(), targets[mask].tolist()))
+    return g
+
+
+def greedy_partition(
+    lattice: Lattice,
+    model: Model,
+    strategy: str = "largest_first",
+    validate: bool = True,
+) -> Partition:
+    """Partition from a greedy colouring of the conflict graph.
+
+    ``strategy`` is any ``networkx.greedy_color`` strategy.  The result
+    is validated conflict-free (unless ``validate=False``) and labelled
+    with the strategy used.
+    """
+    g = conflict_graph(lattice, model)
+    colors = nx.greedy_color(g, strategy=strategy)
+    labels = np.empty(lattice.n_sites, dtype=np.intp)
+    for node, c in colors.items():
+        labels[node] = c
+    p = Partition.from_labels(lattice, labels, name=f"greedy-{strategy}")
+    if validate:
+        p.validate_conflict_free(model)
+    return p
+
+
+def clique_lower_bound(model: Model) -> int:
+    """A lower bound on the number of chunks of any conflict-free partition.
+
+    Builds the conflict graph restricted to a neighbourhood ball around
+    one site (the graph is vertex-transitive, so any maximum clique
+    appears there) and returns the size of the largest clique found by
+    ``networkx.find_cliques`` on that ball.  Since all sites of a
+    clique must lie in pairwise-different chunks, ``|P| >= clique``.
+    """
+    displacements = conflict_displacements(model.union_neighborhood())
+    if not displacements:
+        return 1
+    ndim = len(displacements[0])
+    # radius of the ball: max displacement magnitude per axis
+    radius = [max(abs(d[a]) for d in displacements) for a in range(ndim)]
+    # enumerate lattice points in the ball around the origin
+    ranges = [range(-r, r + 1) for r in radius]
+    points: list[Offset] = []
+
+    def _walk(prefix: tuple[int, ...], axis: int) -> None:
+        if axis == ndim:
+            points.append(prefix)
+            return
+        for v in ranges[axis]:
+            _walk(prefix + (v,), axis + 1)
+
+    _walk((), 0)
+    dset = set(displacements)
+    g = nx.Graph()
+    g.add_nodes_from(points)
+    for i, a in enumerate(points):
+        for b in points[i + 1 :]:
+            if tuple(x - y for x, y in zip(b, a)) in dset:
+                g.add_edge(a, b)
+    best = 1
+    for clique in nx.find_cliques(g):
+        if len(clique) > best:
+            best = len(clique)
+    return best
+
+
+def chunk_count_bounds(lattice: Lattice, model: Model) -> tuple[int, int]:
+    """(lower, upper) bounds on the minimal ``|P|`` for a model.
+
+    Lower bound from :func:`clique_lower_bound`; upper bound from the
+    greedy colouring on the given lattice.
+    """
+    lower = clique_lower_bound(model)
+    upper = greedy_partition(lattice, model, validate=False).m
+    return lower, max(lower, upper)

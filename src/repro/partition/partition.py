@@ -1,0 +1,214 @@
+"""Partitions of the lattice into conflict-free chunks.
+
+A *partition* ``P`` (paper, section 5) is a collection of disjoint
+subsets of the lattice — *chunks* ``P_i`` — that together cover all of
+``Omega``.  The generalisation beyond contiguous blocks is the paper's
+key move: chunks may contain *non-adjacent* sites, chosen so that
+reactions anchored at distinct sites of the same chunk can never
+conflict:
+
+    for all s != t in P_i and all reaction types Rt, Rt':
+        Nb_Rt(s)  ∩  Nb_Rt'(t)  =  ∅            (the non-overlap rule)
+
+All sites of a chunk can then be simulated simultaneously.  Since the
+degree of parallelism is ``~N/|P|``, one wants as *few* chunks as
+possible (see :mod:`repro.partition.coloring` for optimality bounds
+and :mod:`repro.partition.tilings` for the constructions used in the
+paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.lattice import Lattice, Offset
+from ..core.model import Model
+
+__all__ = ["Partition", "conflict_displacements"]
+
+
+def conflict_displacements(
+    neighborhood: Iterable[Offset],
+) -> list[Offset]:
+    """Displacements ``d != 0`` such that sites ``s`` and ``s + d`` conflict.
+
+    Two sites conflict precisely when their (union) neighborhoods
+    intersect: ``(s + a) == (t + b)`` for offsets ``a, b`` in the
+    neighborhood, i.e. ``t - s  in  { a - b }``.  The returned list is
+    the difference set of the neighborhood, without the zero vector.
+    """
+    offs = [tuple(o) for o in neighborhood]
+    if not offs:
+        raise ValueError("empty neighborhood")
+    out: set[Offset] = set()
+    for a in offs:
+        for b in offs:
+            d = tuple(x - y for x, y in zip(a, b))
+            if any(d):
+                out.add(d)
+    return sorted(out)
+
+
+class Partition:
+    """A partition of the lattice sites into chunks.
+
+    Parameters
+    ----------
+    lattice:
+        The lattice being partitioned.
+    chunks:
+        Sequence of flat-index arrays.  They must be disjoint and cover
+        the lattice (validated on construction).
+    name:
+        Optional label for reports.
+
+    Attributes
+    ----------
+    m:
+        Number of chunks, the paper's ``|P|``.
+    conflict_free_for:
+        Set of model names this partition has been *validated*
+        conflict-free for (see :meth:`validate_conflict_free`).
+        Simulators use :meth:`is_conflict_free` to decide between the
+        simultaneous (vectorised / parallel) and the sequential kernel.
+    """
+
+    def __init__(self, lattice: Lattice, chunks: Sequence[np.ndarray], name: str = ""):
+        self.lattice = lattice
+        self.chunks: list[np.ndarray] = []
+        total = 0
+        for c in chunks:
+            arr = np.asarray(c, dtype=np.intp).ravel()
+            arr = np.sort(arr)
+            arr.setflags(write=False)
+            self.chunks.append(arr)
+            total += arr.size
+        if total != lattice.n_sites:
+            raise ValueError(
+                f"chunks contain {total} sites, lattice has {lattice.n_sites}"
+            )
+        seen = np.concatenate(self.chunks) if self.chunks else np.empty(0, np.intp)
+        uniq = np.unique(seen)
+        if uniq.size != lattice.n_sites or (uniq.size and (uniq[0] != 0 or uniq[-1] != lattice.n_sites - 1)):
+            raise ValueError("chunks are not disjoint or do not cover the lattice")
+        if any(c.size == 0 for c in self.chunks):
+            raise ValueError("empty chunks are not allowed")
+        self.name = name or f"partition(m={len(self.chunks)})"
+        self.conflict_free_for: set[str] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of chunks ``|P|``."""
+        return len(self.chunks)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Chunk sizes ``|P_i|``."""
+        return np.array([c.size for c in self.chunks], dtype=np.intp)
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.chunks[i]
+
+    def __repr__(self) -> str:
+        return f"Partition({self.name!r}, m={self.m}, lattice={self.lattice!r})"
+
+    def chunk_of(self) -> np.ndarray:
+        """Per-site chunk label (length ``N`` array)."""
+        lab = np.empty(self.lattice.n_sites, dtype=np.intp)
+        for i, c in enumerate(self.chunks):
+            lab[c] = i
+        return lab
+
+    def grid_labels(self) -> np.ndarray:
+        """Chunk labels reshaped to the lattice (for rendering Fig. 4)."""
+        return self.lattice.as_grid(self.chunk_of())
+
+    # ------------------------------------------------------------------
+    # the non-overlap rule
+    # ------------------------------------------------------------------
+    def check_conflict_free(self, model: Model) -> tuple[bool, str]:
+        """Check the non-overlap rule for a model; returns (ok, reason).
+
+        Vectorised: for every conflict displacement ``d`` of the
+        model's union neighborhood, no chunk may contain both ``s`` and
+        ``s + d``.  Cost is ``O(N * |D|)`` where ``|D|`` is the size of
+        the displacement difference set.
+        """
+        lat = self.lattice
+        displacements = conflict_displacements(model.union_neighborhood())
+        labels = self.chunk_of()
+        for d in displacements:
+            shifted = labels[lat.neighbor_map(d)]
+            clash = labels == shifted
+            if clash.any():
+                s = int(np.flatnonzero(clash)[0])
+                t = int(lat.neighbor_map(d)[s])
+                if s == t:
+                    # the displacement wraps onto the site itself
+                    # (lattice smaller than twice the pattern) — not a
+                    # two-site conflict, skip
+                    continue
+                return (
+                    False,
+                    f"sites {lat.coords(s)} and {lat.coords(t)} share chunk "
+                    f"{int(labels[s])} but conflict via displacement {d}",
+                )
+        return True, "ok"
+
+    def validate_conflict_free(self, model: Model) -> "Partition":
+        """Assert the non-overlap rule holds; marks the partition validated.
+
+        Raises ``ValueError`` with the first offending site pair
+        otherwise.  Returns self for chaining.
+        """
+        ok, reason = self.check_conflict_free(model)
+        if not ok:
+            raise ValueError(f"{self!r} violates the non-overlap rule: {reason}")
+        self.conflict_free_for.add(model.name)
+        return self
+
+    def is_conflict_free(self, model: Model) -> bool:
+        """Has this partition been validated conflict-free for the model?"""
+        return model.name in self.conflict_free_for
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_chunk(cls, lattice: Lattice) -> "Partition":
+        """The trivial partition ``m = 1`` (whole lattice in one chunk).
+
+        Not conflict-free for any model with multi-site patterns; used
+        for the L-PNDCA limit that reduces to RSM.
+        """
+        return cls(lattice, [lattice.all_flat()], name="single-chunk")
+
+    @classmethod
+    def singletons(cls, lattice: Lattice) -> "Partition":
+        """The finest partition ``m = N`` (one site per chunk).
+
+        Trivially conflict-free (chunks have no site pairs); the other
+        L-PNDCA limit that reduces to RSM.
+        """
+        p = cls(
+            lattice,
+            list(np.arange(lattice.n_sites, dtype=np.intp).reshape(-1, 1)),
+            name="singletons",
+        )
+        return p
+
+    @classmethod
+    def from_labels(cls, lattice: Lattice, labels: np.ndarray, name: str = "") -> "Partition":
+        """Build from a per-site integer label array (flat or grid shaped)."""
+        lab = np.asarray(labels).ravel()
+        if lab.size != lattice.n_sites:
+            raise ValueError("label array does not match the lattice")
+        values = np.unique(lab)
+        chunks = [np.flatnonzero(lab == v) for v in values]
+        return cls(lattice, chunks, name=name)

@@ -1,0 +1,151 @@
+"""Partitioning the reaction-type set ``T`` (Table II of the paper).
+
+The second partitioning approach of section 5 partitions the product
+``Omega x T``: the reaction types are split into subsets ``T_j`` whose
+patterns fit a *single pair orientation* (up to translation and
+reversal), so that the non-overlap rule only has to hold per subset.
+A 2-chunk checkerboard site partition then suffices for each ``T_j``
+(instead of the 5 chunks required for the union neighborhood), at the
+price of less work per chunk.
+
+For the CO-oxidation model this reproduces Table II:
+
+    T0 = { CO+O(0), CO+O(2), O2(0), CO }     (x-axis pairs + on-site)
+    T1 = { CO+O(1), CO+O(3), O2(1) }          (y-axis pairs)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.lattice import Offset
+from ..core.model import Model
+from ..core.rates import selection_table
+
+__all__ = ["TypeSubset", "TypeSplit", "split_by_orientation"]
+
+
+@dataclass(frozen=True)
+class TypeSubset:
+    """One subset ``T_j``: reaction-type indices plus selection tables."""
+
+    index: int
+    axis_key: Offset
+    type_indices: tuple[int, ...]
+    rates: np.ndarray
+    total_rate: float
+    cum: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.type_indices)
+
+
+class TypeSplit:
+    """A partition ``T = sum_j T_j`` of a model's reaction types.
+
+    Attributes
+    ----------
+    subsets:
+        The ``T_j`` in construction order.
+    subset_cum:
+        Cumulative table selecting subset ``j`` with probability
+        ``K_Tj / K`` (the algorithm's outer selection).
+    """
+
+    def __init__(self, model: Model, groups: list[tuple[Offset, list[int]]]):
+        flat = [i for _, idxs in groups for i in idxs]
+        if sorted(flat) != list(range(model.n_types)):
+            raise ValueError("type subsets must partition the reaction-type set")
+        self.model = model
+        self.subsets: list[TypeSubset] = []
+        for j, (key, idxs) in enumerate(groups):
+            rates = np.array(
+                [model.reaction_types[i].rate for i in idxs], dtype=np.float64
+            )
+            cum, total = selection_table(rates)
+            self.subsets.append(
+                TypeSubset(j, key, tuple(idxs), rates, total, cum)
+            )
+        totals = np.array([s.total_rate for s in self.subsets])
+        self.subset_cum, self.total_rate = selection_table(totals)
+
+    @property
+    def n_subsets(self) -> int:
+        """Number of subsets |T|."""
+        return len(self.subsets)
+
+    def __len__(self) -> int:
+        return len(self.subsets)
+
+    def __getitem__(self, j: int) -> TypeSubset:
+        return self.subsets[j]
+
+    def describe(self) -> str:
+        """Render the split in the style of Table II."""
+        lines = [f"type split of {self.model.name!r} into {self.n_subsets} subsets:"]
+        for s in self.subsets:
+            names = [self.model.reaction_types[i].name for i in s.type_indices]
+            lines.append(
+                f"  T{s.index} (axis {s.axis_key}, K_T={s.total_rate:g}): "
+                + ", ".join(names)
+            )
+        return "\n".join(lines)
+
+
+def _pair_axis(model: Model, type_index: int) -> Offset | None:
+    """Canonical pair direction of a reaction type, or None for on-site.
+
+    Two-site patterns ``{s, s + v}`` map to the canonical
+    representative of ``{v, -v}`` (lexicographically non-negative).
+    Raises for patterns with three or more sites — those do not fit the
+    single-pair framework of Table II.
+    """
+    rt = model.reaction_types[type_index]
+    offsets = [o for o in rt.neighborhood if any(o)]
+    if not offsets:
+        return None
+    if len(offsets) > 1:
+        raise ValueError(
+            f"reaction type {rt.name!r} touches {len(offsets) + 1} sites; "
+            "orientation splitting only applies to patterns of at most two sites"
+        )
+    v = offsets[0]
+    neg = tuple(-x for x in v)
+    return max(v, neg)  # canonical up to reversal
+
+
+def split_by_orientation(model: Model) -> TypeSplit:
+    """Split ``T`` into subsets of a single pair orientation each.
+
+    Pair reaction types are grouped by their canonical pair axis;
+    on-site (single-site) reaction types conflict with nothing and are
+    appended to the first subset (matching the paper, which puts
+    ``Rt_CO`` into ``T0``).  Subset order follows first appearance of
+    each axis in the model's type order.
+    """
+    buckets: dict[Offset, list[int]] = {}
+    onsite: list[int] = []
+    order: list[Offset] = []
+    for i in range(model.n_types):
+        key = _pair_axis(model, i)
+        if key is None:
+            onsite.append(i)
+            continue
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(i)
+    groups: list[tuple[Offset, list[int]]] = []
+    if not order:
+        # purely on-site model: a single subset
+        zero = (0,) * model.ndim
+        groups.append((zero, onsite))
+    else:
+        for n, key in enumerate(order):
+            idxs = list(buckets[key])
+            if n == 0:
+                idxs += onsite
+            groups.append((key, idxs))
+    return TypeSplit(model, groups)

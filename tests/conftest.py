@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice, Model, ReactionType
+from repro.models import ziff_model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ziff():
+    """The CO-oxidation (Table I) model with unit-ish rates."""
+    return ziff_model(k_co=1.0, k_o2=0.5, k_co2=2.0)
+
+
+@pytest.fixture
+def small_lattice():
+    """A 10x10 lattice (multiple of 5 and 2: all tilings apply)."""
+    return Lattice((10, 10))
+
+
+@pytest.fixture
+def adsorption_1d():
+    """Minimal 1-d model: A adsorbs on a vacant site."""
+    return Model(
+        ["*", "A"],
+        [ReactionType("ads", [((0,), "*", "A")], 2.0)],
+        name="adsorption-1d",
+    )

@@ -1,0 +1,197 @@
+"""Tests for the analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_oscillations,
+    check_exponential_waiting_times,
+    common_grid,
+    curve_max_dev,
+    curve_rmse,
+    ensemble_band_distance,
+    interevent_times,
+    ks_exponential,
+    phase_shift,
+    resample_uniform,
+    run_ensemble,
+    type_selection_ratio,
+)
+from repro.core.events import EventTrace
+
+
+def poisson_trace(rate: float, n: int, seed: int = 0, type_index: int = 0) -> EventTrace:
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(1.0 / rate, n))
+    tr = EventTrace()
+    tr.extend(times, np.full(n, type_index, dtype=np.int32), np.zeros(n, dtype=np.intp))
+    return tr
+
+
+class TestWaitingTimes:
+    def test_ks_accepts_true_exponential(self):
+        samples = np.random.default_rng(0).exponential(0.5, 2000)
+        stat, p = ks_exponential(samples, rate=2.0)
+        assert p > 0.05
+
+    def test_ks_rejects_wrong_rate(self):
+        samples = np.random.default_rng(0).exponential(0.5, 2000)
+        _, p = ks_exponential(samples, rate=10.0)
+        assert p < 1e-6
+
+    def test_ks_rejects_uniform(self):
+        samples = np.random.default_rng(0).uniform(0, 1, 2000)
+        _, p = ks_exponential(samples, rate=2.0)
+        assert p < 1e-6
+
+    def test_ks_validation(self):
+        with pytest.raises(ValueError):
+            ks_exponential(np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError):
+            ks_exponential(np.ones(10), 0.0)
+
+    def test_interevent_times(self):
+        tr = poisson_trace(1.0, 100)
+        assert interevent_times(tr).shape == (99,)
+        assert interevent_times(tr, type_index=5).size == 0
+
+    def test_type_selection_ratio(self):
+        tr = EventTrace()
+        for i, t in enumerate([0, 0, 1, 0]):
+            tr.append(float(i), t, 0)
+        assert type_selection_ratio(tr, 3).tolist() == [0.75, 0.25, 0.0]
+
+    def test_report_passes_for_poisson(self):
+        tr = poisson_trace(3.0, 3000)
+        rep = check_exponential_waiting_times(tr, 0, expected_rate=3.0)
+        assert rep.passed
+        assert rep.empirical_rate == pytest.approx(3.0, rel=0.1)
+        assert "ok" in str(rep)
+
+    def test_report_fails_for_wrong_rate(self):
+        tr = poisson_trace(3.0, 3000)
+        rep = check_exponential_waiting_times(tr, 0, expected_rate=9.0)
+        assert not rep.passed
+
+
+class TestOscillations:
+    def make_series(self, period=10.0, amp=0.3, t_end=200.0, n=2000, noise=0.0, seed=0):
+        t = np.linspace(0, t_end, n)
+        y = 0.5 + amp * np.sin(2 * np.pi * t / period)
+        if noise:
+            y = y + np.random.default_rng(seed).normal(0, noise, n)
+        return t, y
+
+    def test_clean_sine(self):
+        t, y = self.make_series()
+        s = analyze_oscillations(t, y)
+        assert s.period == pytest.approx(10.0, rel=0.05)
+        assert s.amplitude == pytest.approx(0.3, rel=0.1)
+        assert s.strength > 0.9
+        assert s.oscillating
+        assert len(s.peak_times) >= 10
+
+    def test_noisy_sine_still_detected(self):
+        t, y = self.make_series(noise=0.05)
+        s = analyze_oscillations(t, y)
+        assert s.period == pytest.approx(10.0, rel=0.1)
+        assert s.oscillating
+
+    def test_flat_series_not_oscillating(self):
+        t = np.linspace(0, 100, 500)
+        y = np.full(500, 0.4)
+        s = analyze_oscillations(t, y)
+        assert not s.oscillating
+
+    def test_pure_noise_not_oscillating(self):
+        t = np.linspace(0, 100, 1000)
+        y = np.random.default_rng(0).normal(0.5, 0.05, 1000)
+        s = analyze_oscillations(t, y)
+        assert not s.oscillating
+
+    def test_resample_validation(self):
+        with pytest.raises(ValueError):
+            resample_uniform(np.array([0.0, 1.0, 0.5]), np.zeros(3))
+        with pytest.raises(ValueError):
+            resample_uniform(np.array([0.0, 1.0]), np.zeros(2))
+
+    def test_discard_fraction_validation(self):
+        t, y = self.make_series()
+        with pytest.raises(ValueError):
+            analyze_oscillations(t, y, discard_fraction=1.0)
+
+
+class TestCompare:
+    def test_common_grid_overlap(self):
+        t1 = np.linspace(0, 10, 50)
+        t2 = np.linspace(5, 15, 50)
+        grid, a, b = common_grid(t1, t1, t2, t2)
+        assert grid[0] == pytest.approx(5.0)
+        assert grid[-1] == pytest.approx(10.0)
+        assert np.allclose(a, b)
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            common_grid(np.array([0.0, 1.0]), np.zeros(2), np.array([2.0, 3.0]), np.zeros(2))
+
+    def test_rmse_zero_for_identical(self):
+        t = np.linspace(0, 10, 100)
+        y = np.sin(t)
+        assert curve_rmse(t, y, t, y) == 0.0
+
+    def test_rmse_of_constant_offset(self):
+        t = np.linspace(0, 10, 100)
+        assert curve_rmse(t, np.zeros(100), t, np.full(100, 0.2)) == pytest.approx(0.2)
+
+    def test_max_dev(self):
+        t = np.linspace(0, 10, 100)
+        y2 = np.zeros(100)
+        y2[50] = 1.0
+        assert curve_max_dev(t, np.zeros(100), t, y2) > 0.5
+
+    def test_phase_shift_detects_lag(self):
+        t = np.linspace(0, 100, 2000)
+        y1 = np.sin(2 * np.pi * t / 10)
+        y2 = np.sin(2 * np.pi * (t - 2.0) / 10)  # lags by 2
+        assert phase_shift(t, y1, t, y2, max_lag_fraction=0.04) == pytest.approx(
+            2.0, abs=0.2
+        )
+
+    def test_ensemble_band_distance(self):
+        t = np.linspace(0, 10, 100)
+        mean = np.zeros(100)
+        std = np.full(100, 0.1)
+        inside = np.full(100, 0.05)
+        outside = np.full(100, 0.5)
+        assert ensemble_band_distance(t, mean, std, t, inside) == pytest.approx(0.5)
+        assert ensemble_band_distance(t, mean, std, t, outside) == pytest.approx(5.0)
+
+
+class TestEnsemble:
+    def test_run_ensemble_statistics(self, ziff):
+        from repro.core import Lattice
+        from repro.dmc import RSM, CoverageObserver
+
+        def factory(seed):
+            return RSM(
+                ziff, Lattice((8, 8)), seed=seed,
+                observers=[CoverageObserver(0.5, species=("O",))],
+            )
+
+        ens = run_ensemble(factory, seeds=range(4), until=3.0)
+        assert ens.n_runs == 4
+        t, mean, std = ens.band("O")
+        assert t.shape == mean.shape == std.shape
+        assert (std >= 0).all()
+        assert mean[0] == 0.0  # empty lattice at t=0
+
+    def test_requires_observer(self, ziff):
+        from repro.core import Lattice
+        from repro.dmc import RSM
+
+        with pytest.raises(ValueError, match="CoverageObserver"):
+            run_ensemble(lambda s: RSM(ziff, Lattice((6, 6)), seed=s), [0, 1], 1.0)
+
+    def test_requires_seeds(self, ziff):
+        with pytest.raises(ValueError):
+            run_ensemble(lambda s: None, [], 1.0)

@@ -1,0 +1,75 @@
+"""Tests for the ASCII time-lapse renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice
+from repro.core.species import SpeciesRegistry
+from repro.io.animation import default_symbols, render_frames, side_by_side
+
+
+@pytest.fixture
+def sp():
+    return SpeciesRegistry(["*", "CO", "O"]).freeze()
+
+
+class TestSymbols:
+    def test_vacant_is_dot(self, sp):
+        assert default_symbols(sp)["*"] == "."
+
+    def test_unique_characters(self):
+        sp = SpeciesRegistry(["*", "CO", "C", "Cl"]).freeze()
+        syms = default_symbols(sp)
+        assert len(set(syms.values())) == len(syms)
+
+
+class TestRenderFrames:
+    def test_basic(self, sp):
+        lat = Lattice((2, 3))
+        snaps = np.array([[0, 1, 2, 0, 0, 0], [1, 1, 1, 2, 2, 2]], dtype=np.uint8)
+        frames = render_frames(lat, sp, snaps, times=[0.0, 1.0])
+        assert len(frames) == 2
+        assert frames[0] == "t = 0\n.CO\n..."
+        assert frames[1].startswith("t = 1\nCCC")
+
+    def test_max_frames_downsampling(self, sp):
+        lat = Lattice((2, 2))
+        snaps = np.zeros((10, 4), dtype=np.uint8)
+        frames = render_frames(lat, sp, snaps, max_frames=3)
+        assert len(frames) == 3
+
+    def test_1d(self, sp):
+        lat = Lattice((4,))
+        snaps = np.array([[0, 1, 0, 2]], dtype=np.uint8)
+        frames = render_frames(lat, sp, snaps)
+        assert frames[0].splitlines()[1] == ".C.O"
+
+    def test_shape_validation(self, sp):
+        lat = Lattice((2, 2))
+        with pytest.raises(ValueError):
+            render_frames(lat, sp, np.zeros((2, 5), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            render_frames(lat, sp, np.zeros((2, 4), dtype=np.uint8), times=[0.0])
+
+    def test_from_snapshot_observer(self, ziff):
+        from repro.dmc import RSM, SnapshotObserver
+
+        lat = Lattice((6, 6))
+        obs = SnapshotObserver(1.0)
+        RSM(ziff, lat, seed=0, observers=[obs]).run(until=3.0)
+        data = obs.data()
+        frames = render_frames(
+            lat, ziff.species, data["snapshots"], data["snapshot_times"]
+        )
+        assert frames[0].splitlines()[1] == "......"  # empty start
+
+
+class TestSideBySide:
+    def test_layout(self):
+        out = side_by_side(["a\nbb", "ccc"])
+        lines = out.splitlines()
+        assert lines[0] == "a    ccc"
+        assert lines[1] == "bb"
+
+    def test_empty(self):
+        assert side_by_side([]) == ""

@@ -1,0 +1,126 @@
+"""Tests for the fluent model builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice, ModelBuilder
+from repro.core.builder import ModelBuilder as MB
+from repro.dmc import RSM
+from repro.models import ziff_model
+
+
+class TestBuilderBasics:
+    def test_adsorption_desorption(self):
+        m = (
+            ModelBuilder("ads-des", species=("*", "A"))
+            .adsorption("ads", "A", rate=2.0)
+            .desorption("des", "A", rate=1.0)
+            .build()
+        )
+        assert m.n_types == 2
+        assert m.total_rate == 3.0
+
+    def test_transformation(self):
+        m = (
+            ModelBuilder("flip", species=("*", "A", "B"))
+            .transformation("a2b", "A", "B", rate=1.0)
+            .build()
+        )
+        rt = m.reaction_types[0]
+        assert rt.source_pattern == ("A",)
+        assert rt.target_pattern == ("B",)
+
+    def test_dissociative_adsorption_two_orientations(self):
+        m = (
+            ModelBuilder("o2", species=("*", "O"))
+            .dissociative_adsorption("O2", "O", rate=0.5)
+            .build()
+        )
+        assert m.n_types == 2
+        assert {rt.name for rt in m.reaction_types} == {"O2(0)", "O2(1)"}
+
+    def test_pair_reaction_four_orientations(self):
+        m = (
+            ModelBuilder("rx", species=("*", "A", "B"))
+            .pair_reaction("A+B", "A", "B", rate=3.0)
+            .build()
+        )
+        assert m.n_types == 4
+        assert all(rt.target_pattern == ("*", "*") for rt in m.reaction_types)
+
+    def test_pair_reaction_custom_products(self):
+        m = (
+            ModelBuilder("rx", species=("*", "A", "B", "C"))
+            .pair_reaction("mk", "A", "B", rate=1.0, product_a="C", product_b="*")
+            .build()
+        )
+        assert m.reaction_types[0].target_pattern == ("C", "*")
+
+    def test_hop(self):
+        m = (
+            ModelBuilder("diff", species=("*", "A"))
+            .hop("hop", "A", rate=1.0)
+            .build()
+        )
+        assert m.n_types == 4
+        assert m.groups() == ["hop"]
+
+
+class TestBuilderValidation:
+    def test_unknown_species(self):
+        with pytest.raises(ValueError, match="not in the domain"):
+            ModelBuilder("m", species=("*",)).adsorption("a", "X", 1.0)
+
+    def test_empty_build(self):
+        with pytest.raises(ValueError, match="no reaction types"):
+            ModelBuilder("m", species=("*", "A")).build()
+
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            ModelBuilder("m", species=("*",), ndim=3)
+
+
+class TestBuilderEquivalence:
+    def test_builder_ziff_equals_handwritten(self):
+        built = (
+            ModelBuilder("ziff", species=("*", "CO", "O"))
+            .pair_reaction("CO+O", "CO", "O", rate=1.0)
+            .dissociative_adsorption("O2_ads", "O", rate=1.0)
+            .adsorption("CO_ads", "CO", rate=1.0)
+            .build()
+        )
+        hand = ziff_model()
+        assert built.n_types == hand.n_types
+        for a, b in zip(built.reaction_types, hand.reaction_types):
+            assert a.changes == b.changes, (a.name, b.name)
+
+    def test_built_model_simulates(self):
+        m = (
+            ModelBuilder("ads", species=("*", "A"))
+            .adsorption("ads", "A", rate=1.0)
+            .build()
+        )
+        res = RSM(m, Lattice((10, 10)), seed=0).run(until=2.0)
+        assert res.final_state.coverage("A") == pytest.approx(
+            1 - np.exp(-2.0), abs=0.1
+        )
+
+
+class TestBuilder1D:
+    def test_1d_hop_two_directions(self):
+        m = (
+            ModelBuilder("d1", species=("*", "A"), ndim=1)
+            .hop("hop", "A", rate=1.0)
+            .build()
+        )
+        assert m.n_types == 2
+        offs = {rt.changes[1].offset for rt in m.reaction_types}
+        assert offs == {(1,), (-1,)}
+
+    def test_1d_single_site(self):
+        m = (
+            ModelBuilder("d1", species=("*", "A"), ndim=1)
+            .adsorption("a", "A", 1.0)
+            .build()
+        )
+        assert m.reaction_types[0].changes[0].offset == (0,)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.partition.coloring."""
+
+import networkx as nx
+import pytest
+
+from repro.core import Lattice, Model, ReactionType
+from repro.partition.coloring import (
+    chunk_count_bounds,
+    clique_lower_bound,
+    conflict_graph,
+    greedy_partition,
+)
+
+
+class TestConflictGraph:
+    def test_node_count(self, ziff):
+        g = conflict_graph(Lattice((6, 6)), ziff)
+        assert g.number_of_nodes() == 36
+
+    def test_degree_matches_difference_set(self, ziff):
+        # every site conflicts with the 12 sites at L1 distance <= 2
+        g = conflict_graph(Lattice((10, 10)), ziff)
+        degrees = {d for _, d in g.degree()}
+        assert degrees == {12}
+
+    def test_onsite_model_edgeless(self, small_lattice):
+        m = Model(["*", "A"], [ReactionType("ads", [((0, 0), "*", "A")], 1.0)])
+        g = conflict_graph(small_lattice, m)
+        assert g.number_of_edges() == 0
+
+
+class TestGreedyPartition:
+    def test_validated(self, ziff):
+        p = greedy_partition(Lattice((10, 10)), ziff)
+        assert p.is_conflict_free(ziff)
+
+    def test_at_least_lower_bound(self, ziff):
+        p = greedy_partition(Lattice((10, 10)), ziff)
+        assert p.m >= clique_lower_bound(ziff)
+
+    def test_strategy_parameter(self, ziff):
+        p = greedy_partition(
+            Lattice((10, 10)), ziff, strategy="smallest_last"
+        )
+        assert p.is_conflict_free(ziff)
+
+
+class TestCliqueBound:
+    def test_ziff_is_five(self, ziff):
+        assert clique_lower_bound(ziff) == 5
+
+    def test_onsite_model_is_one(self):
+        m = Model(["*", "A"], [ReactionType("ads", [((0, 0), "*", "A")], 1.0)])
+        assert clique_lower_bound(m) == 1
+
+    def test_1d_pair_model(self):
+        hop = Model(
+            ["*", "A"],
+            [ReactionType("r", [((0,), "A", "*"), ((1,), "*", "A")], 1.0)],
+        )
+        # neighborhood {0, 1}: sites 0,1,2 pairwise conflict -> bound 3?
+        # differences of {0,1} are {-1, 1}; only adjacent sites conflict,
+        # so the largest clique is an edge: bound 2
+        assert clique_lower_bound(hop) == 2
+
+    def test_ising_five_site_patterns(self):
+        from repro.models import ising_model_2d
+
+        m = ising_model_2d(beta=0.5)
+        # the 5-site cross conflicts out to L1 distance 2: contains the
+        # 13-site ball? the max clique is larger than the pair models'
+        assert clique_lower_bound(m) >= 5
+
+    def test_bounds_consistent(self, ziff):
+        lo, hi = chunk_count_bounds(Lattice((10, 10)), ziff)
+        assert lo == 5
+        assert hi >= lo

@@ -1,0 +1,105 @@
+"""Unit tests for repro.core.compiled."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, Lattice
+
+
+@pytest.fixture
+def compiled(ziff, small_lattice):
+    return ziff.compile(small_lattice)
+
+
+@pytest.fixture
+def state(ziff, small_lattice):
+    return Configuration.empty(small_lattice, ziff.species)
+
+
+class TestTables:
+    def test_type_count_and_rates(self, compiled, ziff):
+        assert compiled.n_types == 7
+        assert compiled.total_rate == pytest.approx(ziff.total_rate)
+        assert compiled.type_cum[-1] == 1.0
+
+    def test_maps_match_offsets(self, compiled, small_lattice, ziff):
+        ct = compiled.types[ziff.type_index("O2_ads(0)")]
+        s = small_lattice.flat_index((2, 3))
+        assert ct.maps[0][s] == s
+        assert ct.maps[1][s] == small_lattice.flat_index((3, 3))
+
+    def test_codes(self, compiled, ziff):
+        ct = compiled.types[ziff.type_index("CO_ads")]
+        assert ct.srcs == [ziff.species.code("*")]
+        assert ct.tgts == [ziff.species.code("CO")]
+
+
+class TestScalarOps:
+    def test_enabled_on_empty(self, compiled, state, ziff):
+        # adsorptions enabled everywhere, reactions nowhere
+        assert compiled.is_enabled(state.array, ziff.type_index("CO_ads"), 0)
+        assert compiled.is_enabled(state.array, ziff.type_index("O2_ads(0)"), 0)
+        assert not compiled.is_enabled(state.array, ziff.type_index("CO+O(0)"), 0)
+
+    def test_execute_writes_pattern(self, compiled, state, ziff, small_lattice):
+        t = ziff.type_index("O2_ads(1)")
+        s = small_lattice.flat_index((4, 4))
+        compiled.execute(state.array, t, s)
+        assert state.get((4, 4)) == "O"
+        assert state.get((4, 5)) == "O"
+
+    def test_enabled_types_at(self, compiled, state, ziff):
+        enabled = compiled.enabled_types_at(state.array, 0)
+        names = [ziff.reaction_types[i].name for i in enabled]
+        assert set(names) == {"CO_ads", "O2_ads(0)", "O2_ads(1)"}
+
+    def test_reaction_pipeline(self, compiled, state, ziff, small_lattice):
+        # place CO at s and O east of it -> CO+O(0) enabled
+        state.set((5, 5), "CO")
+        state.set((6, 5), "O")  # (1, 0) = +row
+        t = ziff.type_index("CO+O(0)")
+        s = small_lattice.flat_index((5, 5))
+        assert compiled.is_enabled(state.array, t, s)
+        compiled.execute(state.array, t, s)
+        assert state.get((5, 5)) == "*"
+        assert state.get((6, 5)) == "*"
+
+
+class TestVectorOps:
+    def test_match_sites(self, compiled, state, ziff):
+        sites = np.arange(10, dtype=np.intp)
+        mask = compiled.match_sites(state.array, ziff.type_index("CO_ads"), sites)
+        assert mask.all()
+        state.array[3] = 1  # CO occupies site 3
+        mask = compiled.match_sites(state.array, ziff.type_index("CO_ads"), sites)
+        assert not mask[3] and mask.sum() == 9
+
+    def test_enabled_anchor_sites(self, compiled, state, ziff, small_lattice):
+        state.set((0, 0), "CO")
+        state.set((0, 1), "O")
+        anchors = compiled.enabled_anchor_sites(
+            state.array, ziff.type_index("CO+O(1)")
+        )
+        assert anchors.tolist() == [small_lattice.flat_index((0, 0))]
+
+    def test_enabled_rate_total_empty_lattice(self, compiled, state, ziff):
+        n = compiled.n_sites
+        expected = n * (1.0 + 0.5 + 0.5)  # CO_ads + two O2 orientations
+        assert compiled.enabled_rate_total(state.array) == pytest.approx(expected)
+
+    def test_enabled_rate_total_subset(self, compiled, state):
+        sites = np.arange(5, dtype=np.intp)
+        assert compiled.enabled_rate_total(state.array, sites) == pytest.approx(
+            5 * 2.0
+        )
+
+    def test_affected_anchors_cross(self, compiled, small_lattice):
+        s = small_lattice.flat_index((5, 5))
+        affected = compiled.affected_anchors([s])
+        # anchors whose union neighborhood reaches (5,5): the von
+        # Neumann cross around it
+        expected = sorted(
+            small_lattice.flat_index(c)
+            for c in [(5, 5), (4, 5), (6, 5), (5, 4), (5, 6)]
+        )
+        assert affected.tolist() == expected

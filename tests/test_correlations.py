@@ -1,0 +1,105 @@
+"""Tests for spatial-correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PairCorrelationObserver,
+    nn_pair_fraction,
+    pair_correlation,
+    structure_factor,
+)
+from repro.core import Configuration, Lattice
+from repro.core.species import SpeciesRegistry
+
+
+@pytest.fixture
+def sp():
+    return SpeciesRegistry(["*", "A", "B"]).freeze()
+
+
+def checkerboard_config(lat, sp, a="A", b="*"):
+    arr = np.empty(lat.n_sites, dtype=np.uint8)
+    for flat in range(lat.n_sites):
+        i, j = lat.coords(flat)
+        arr[flat] = sp.code(a) if (i + j) % 2 == 0 else sp.code(b)
+    return Configuration(lat, sp, arr)
+
+
+class TestPairCorrelation:
+    def test_uncorrelated_random(self, sp, rng):
+        lat = Lattice((60, 60))
+        cfg = Configuration.random(lat, sp, {"A": 0.4}, rng)
+        g = pair_correlation(cfg, "A", "A", (1, 0))
+        assert g == pytest.approx(1.0, abs=0.08)
+
+    def test_checkerboard_antiferro(self, sp):
+        lat = Lattice((10, 10))
+        cfg = checkerboard_config(lat, sp)
+        # A never neighbours A on a checkerboard
+        assert pair_correlation(cfg, "A", "A", (1, 0)) == 0.0
+        # but always at distance (1, 1)
+        assert pair_correlation(cfg, "A", "A", (1, 1)) == pytest.approx(2.0)
+
+    def test_absent_species_is_nan(self, sp):
+        lat = Lattice((4, 4))
+        cfg = Configuration.empty(lat, sp)
+        assert np.isnan(pair_correlation(cfg, "A", "A", (1, 0)))
+
+    def test_cross_species(self, sp):
+        lat = Lattice((10, 10))
+        cfg = checkerboard_config(lat, sp, a="A", b="B")
+        assert pair_correlation(cfg, "A", "B", (1, 0)) == pytest.approx(2.0)
+
+
+class TestNNPairFraction:
+    def test_checkerboard(self, sp):
+        lat = Lattice((10, 10))
+        cfg = checkerboard_config(lat, sp, a="A", b="B")
+        # every ordered nn pair is A-B or B-A
+        assert nn_pair_fraction(cfg, "A", "B") == pytest.approx(0.5)
+        assert nn_pair_fraction(cfg, "A", "A") == 0.0
+
+    def test_full_lattice(self, sp):
+        lat = Lattice((6, 6))
+        cfg = Configuration.filled(lat, sp, "A")
+        assert nn_pair_fraction(cfg, "A", "A") == pytest.approx(1.0)
+
+    def test_1d(self, sp):
+        lat = Lattice((6,))
+        cfg = Configuration.from_grid(lat, sp, ["A", "B", "A", "B", "A", "B"])
+        assert nn_pair_fraction(cfg, "A", "B") == pytest.approx(0.5)
+
+
+class TestStructureFactor:
+    def test_checkerboard_peak_at_pi_pi(self, sp):
+        lat = Lattice((8, 8))
+        cfg = checkerboard_config(lat, sp)
+        s = structure_factor(cfg, "A")
+        assert s.shape == (8, 8)
+        # the (pi, pi) component dominates
+        peak = np.unravel_index(np.argmax(s), s.shape)
+        assert peak == (4, 4)
+
+    def test_uniform_has_no_structure(self, sp):
+        lat = Lattice((8, 8))
+        cfg = Configuration.filled(lat, sp, "A")
+        s = structure_factor(cfg, "A")
+        assert np.allclose(s, 0.0)
+
+
+class TestPairCorrelationObserver:
+    def test_samples_and_steady_mean(self, ziff):
+        from repro.dmc import RSM
+
+        obs = PairCorrelationObserver(0.5, "O", "O", (1, 0))
+        sim = RSM(ziff, Lattice((16, 16)), seed=0, observers=[obs])
+        sim.run(until=5.0)
+        data = obs.data()
+        assert len(data["pair_corr_times"]) == 11
+        mean = obs.steady_mean()
+        assert np.isfinite(mean) and mean > 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            PairCorrelationObserver(0.0, "A", "A", (1, 0))

@@ -1,0 +1,69 @@
+"""Tests for SimulatorBase internals (time accounting, defaults)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, Lattice, Model, ReactionType
+from repro.dmc import RSM
+
+
+@pytest.fixture
+def sim(ziff):
+    return RSM(ziff, Lattice((10, 10)), seed=0)
+
+
+class TestTimeIncrement:
+    def test_deterministic_value(self, ziff):
+        sim = RSM(ziff, Lattice((10, 10)), seed=0, time_mode="deterministic")
+        nk = 100 * ziff.total_rate
+        assert sim.time_increment(50) == pytest.approx(50 / nk)
+
+    def test_zero_trials(self, sim):
+        assert sim.time_increment(0) == 0.0
+
+    def test_stochastic_mean(self, ziff):
+        sim = RSM(ziff, Lattice((10, 10)), seed=0)
+        nk = sim.nk_rate
+        draws = np.array([sim.time_increment(100) for _ in range(2000)])
+        # Gamma(100, 1/nk): mean 100/nk, std 10/nk
+        assert draws.mean() == pytest.approx(100 / nk, rel=0.02)
+        assert draws.std() == pytest.approx(10 / nk, rel=0.1)
+
+    def test_gamma_equals_sum_of_exponentials_in_distribution(self, ziff):
+        sim = RSM(ziff, Lattice((10, 10)), seed=1)
+        rng = np.random.default_rng(2)
+        gamma_draws = np.array([sim.time_increment(30) for _ in range(3000)])
+        exp_sums = rng.exponential(1.0 / sim.nk_rate, size=(3000, 30)).sum(axis=1)
+        from scipy import stats
+
+        _, p = stats.ks_2samp(gamma_draws, exp_sums)
+        assert p > 0.01
+
+
+class TestDefaults:
+    def test_default_initial_empty_when_star_exists(self, ziff):
+        sim = RSM(ziff, Lattice((6, 6)))
+        assert sim.state.coverage("*") == 1.0
+
+    def test_default_initial_first_species_otherwise(self):
+        m = Model(
+            ["A", "B"],
+            [ReactionType("f", [((0, 0), "A", "B")], 1.0)],
+        )
+        sim = RSM(m, Lattice((6, 6)))
+        assert sim.state.coverage("A") == 1.0
+
+    def test_seed_recorded_for_ints(self, ziff):
+        assert RSM(ziff, Lattice((4, 4)), seed=7).seed == 7
+        assert RSM(ziff, Lattice((4, 4)), seed=None).seed is None
+
+    def test_nk_rate(self, ziff):
+        sim = RSM(ziff, Lattice((10, 10)))
+        assert sim.nk_rate == pytest.approx(100 * ziff.total_rate)
+
+    def test_initial_copied_not_aliased(self, ziff):
+        lat = Lattice((6, 6))
+        initial = Configuration.empty(lat, ziff.species)
+        sim = RSM(ziff, lat, seed=0, initial=initial)
+        sim.run(until=1.0)
+        assert initial.coverage("*") == 1.0  # caller's state untouched

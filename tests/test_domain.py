@@ -1,0 +1,89 @@
+"""Tests for the Segers-style domain decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice
+from repro.dmc import RSM
+from repro.parallel.domain import DomainDecomposedRSM
+from repro.parallel.machine import DEFAULT_2003
+
+
+class TestDecomposition:
+    def test_strips_partition_lattice(self, ziff):
+        sim = DomainDecomposedRSM(ziff, Lattice((12, 10)), n_strips=4, seed=0)
+        all_sites = np.sort(np.concatenate(sim.strips))
+        assert np.array_equal(all_sites, np.arange(120))
+
+    def test_boundary_anchors_marked(self, ziff):
+        sim = DomainDecomposedRSM(ziff, Lattice((12, 10)), n_strips=4, seed=0)
+        # pair patterns reach 1 row: the first/last row of each 3-row
+        # strip is boundary -> 2 of 3 rows
+        assert sim._boundary_anchor.sum() == 4 * 2 * 10
+
+    def test_volume_boundary_ratio(self, ziff):
+        sim = DomainDecomposedRSM(ziff, Lattice((12, 10)), n_strips=4, seed=0)
+        assert sim.volume_boundary_ratio() == pytest.approx((120 - 80) / 80)
+
+    def test_single_strip_has_no_boundary(self, ziff):
+        sim = DomainDecomposedRSM(ziff, Lattice((12, 10)), n_strips=1, seed=0)
+        assert sim._boundary_anchor.sum() == 0
+        assert math.isinf(sim.volume_boundary_ratio())
+
+    def test_strip_count_validation(self, ziff):
+        with pytest.raises(ValueError):
+            DomainDecomposedRSM(ziff, Lattice((4, 4)), n_strips=9)
+
+    def test_2d_required(self, adsorption_1d):
+        with pytest.raises(ValueError, match="2-d"):
+            DomainDecomposedRSM(adsorption_1d, Lattice((12,)), n_strips=2)
+
+
+class TestRun:
+    def test_events_classified(self, ziff):
+        sim = DomainDecomposedRSM(
+            ziff, Lattice((12, 12)), n_strips=3, window=100, seed=0
+        )
+        res = sim.run(until=2.0)
+        assert sim.boundary_events + sim.interior_events == res.n_executed
+        assert sim.boundary_events > 0
+
+    def test_kinetics_close_to_rsm(self, ziff):
+        lat = Lattice((12, 12))
+        dd = np.mean(
+            [
+                DomainDecomposedRSM(ziff, lat, n_strips=3, window=48, seed=s)
+                .run(until=4.0)
+                .final_state.coverage("O")
+                for s in range(5)
+            ]
+        )
+        rsm = np.mean(
+            [
+                RSM(ziff, lat, seed=s + 50).run(until=4.0).final_state.coverage("O")
+                for s in range(5)
+            ]
+        )
+        assert dd == pytest.approx(rsm, abs=0.12)
+
+    def test_modelled_parallel_time(self, ziff):
+        sim = DomainDecomposedRSM(
+            ziff, Lattice((12, 12)), n_strips=3, window=100, seed=0
+        )
+        sim.run(until=2.0)
+        t = sim.modelled_parallel_time(DEFAULT_2003)
+        assert t > 0
+        # compute-only part is exchanges * window * t_trial
+        assert t > sim.exchanges * sim.window * DEFAULT_2003.t_trial
+
+    def test_single_strip_no_comm_cost(self, ziff):
+        sim = DomainDecomposedRSM(
+            ziff, Lattice((12, 12)), n_strips=1, window=100, seed=0
+        )
+        sim.run(until=1.0)
+        t = sim.modelled_parallel_time(DEFAULT_2003)
+        assert t == pytest.approx(
+            sim.exchanges * sim.window * DEFAULT_2003.t_trial
+        )

@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.events."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, EventTrace
+
+
+class TestEventTrace:
+    def test_append_and_len(self):
+        t = EventTrace(capacity=2)
+        t.append(0.5, 1, 10)
+        t.append(0.8, 2, 20)
+        t.append(1.1, 1, 30)  # forces growth
+        assert len(t) == 3
+        assert t.times.tolist() == [0.5, 0.8, 1.1]
+        assert t.type_indices.tolist() == [1, 2, 1]
+        assert t.sites.tolist() == [10, 20, 30]
+
+    def test_extend(self):
+        t = EventTrace(capacity=1)
+        t.extend(np.array([1.0, 2.0]), np.array([0, 1]), np.array([5, 6]))
+        assert len(t) == 2
+        assert t.times.tolist() == [1.0, 2.0]
+
+    def test_extend_validates_lengths(self):
+        t = EventTrace()
+        with pytest.raises(ValueError):
+            t.extend(np.array([1.0]), np.array([0, 1]), np.array([5]))
+
+    def test_getitem(self):
+        t = EventTrace()
+        t.append(0.5, 3, 7)
+        ev = t[0]
+        assert ev == Event(0.5, 3, 7)
+        assert t[-1] == ev
+        with pytest.raises(IndexError):
+            t[1]
+
+    def test_of_type(self):
+        t = EventTrace()
+        for i, ty in enumerate([0, 1, 0, 2]):
+            t.append(float(i), ty, i)
+        sub = t.of_type(0)
+        assert len(sub) == 2
+        assert sub.sites.tolist() == [0, 2]
+
+    def test_at_site(self):
+        t = EventTrace()
+        t.append(0.1, 0, 5)
+        t.append(0.2, 1, 9)
+        t.append(0.3, 2, 5)
+        assert t.at_site(5).type_indices.tolist() == [0, 2]
+
+    def test_waiting_times(self):
+        t = EventTrace()
+        for time in (1.0, 1.5, 4.0):
+            t.append(time, 0, 0)
+        assert t.waiting_times().tolist() == [1.0, 0.5, 2.5]
+
+    def test_waiting_times_empty(self):
+        assert EventTrace().waiting_times().size == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_views_do_not_include_spare_capacity(self):
+        t = EventTrace(capacity=100)
+        t.append(1.0, 0, 0)
+        assert t.times.shape == (1,)

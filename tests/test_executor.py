@@ -1,0 +1,101 @@
+"""Tests for the multiprocessing shared-memory executor."""
+
+import numpy as np
+import pytest
+
+from repro.ca import PNDCA
+from repro.core import Lattice
+from repro.parallel.executor import ParallelChunkExecutor, ParallelPNDCA
+from repro.partition import five_chunk_partition
+
+
+@pytest.fixture
+def setup(ziff):
+    lat = Lattice((10, 10))
+    p5 = five_chunk_partition(lat)
+    p5.validate_conflict_free(ziff)
+    return lat, p5
+
+
+class TestExecutor:
+    def test_execute_chunk_counts(self, ziff, setup):
+        lat, p5 = setup
+        with ParallelChunkExecutor(ziff, lat, n_workers=2) as ex:
+            t = ziff.type_index("CO_ads")
+            chunk = p5.chunks[0]
+            counts = ex.execute_chunk(chunk, np.full(chunk.size, t, dtype=np.intp))
+            assert counts[t] == chunk.size  # empty lattice: all succeed
+            assert (ex.state[chunk] == ziff.species.code("CO")).all()
+
+    def test_empty_chunk(self, ziff, setup):
+        lat, _ = setup
+        with ParallelChunkExecutor(ziff, lat, n_workers=2) as ex:
+            counts = ex.execute_chunk(
+                np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+            )
+            assert counts.sum() == 0
+
+    def test_load_state(self, ziff, setup):
+        lat, _ = setup
+        with ParallelChunkExecutor(ziff, lat, n_workers=1) as ex:
+            arr = np.full(lat.n_sites, 2, dtype=np.uint8)
+            ex.load_state(arr)
+            assert (ex.state == 2).all()
+            with pytest.raises(ValueError):
+                ex.load_state(np.zeros(5, dtype=np.uint8))
+
+    def test_closed_executor_rejects_work(self, ziff, setup):
+        lat, p5 = setup
+        ex = ParallelChunkExecutor(ziff, lat, n_workers=1)
+        ex.close()
+        with pytest.raises(RuntimeError):
+            ex.execute_chunk(p5.chunks[0], np.zeros(p5.chunks[0].size, dtype=np.intp))
+        ex.close()  # idempotent
+
+    def test_n_workers_validation(self, ziff, setup):
+        lat, _ = setup
+        with pytest.raises(ValueError):
+            ParallelChunkExecutor(ziff, lat, n_workers=0)
+
+
+class TestParallelPNDCA:
+    def test_bit_identical_to_serial(self, ziff, setup):
+        lat, p5 = setup
+        serial = PNDCA(ziff, lat, seed=11, partition=p5, strategy="ordered")
+        rs = serial.run(until=4.0)
+        with ParallelChunkExecutor(ziff, lat, n_workers=3) as ex:
+            par = ParallelPNDCA(
+                ziff, lat, seed=11, partition=p5, strategy="ordered", executor=ex
+            )
+            rp = par.run(until=4.0)
+        assert np.array_equal(rs.final_state.array, rp.final_state.array)
+        assert rs.n_executed == rp.n_executed
+        assert np.array_equal(rs.executed_per_type, rp.executed_per_type)
+        assert rs.final_time == pytest.approx(rp.final_time)
+
+    def test_result_survives_executor_close(self, ziff, setup):
+        lat, p5 = setup
+        with ParallelChunkExecutor(ziff, lat, n_workers=2) as ex:
+            par = ParallelPNDCA(
+                ziff, lat, seed=1, partition=p5, executor=ex
+            )
+            res = par.run(until=2.0)
+        # shared memory is gone; the result's state must still be usable
+        assert res.final_state.counts().sum() == lat.n_sites
+
+    def test_requires_conflict_free(self, ziff, setup):
+        from repro.partition import Partition
+
+        lat, _ = setup
+        bad = Partition.single_chunk(lat)
+        with ParallelChunkExecutor(ziff, lat, n_workers=1) as ex:
+            with pytest.raises(ValueError):
+                ParallelPNDCA(
+                    ziff, lat, seed=0, partition=bad, validate=False, executor=ex
+                )
+
+    def test_lattice_mismatch(self, ziff, setup):
+        lat, p5 = setup
+        with ParallelChunkExecutor(ziff, Lattice((20, 20)), n_workers=1) as ex:
+            with pytest.raises(ValueError, match="different lattice"):
+                ParallelPNDCA(ziff, lat, seed=0, partition=p5, executor=ex)

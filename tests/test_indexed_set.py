@@ -1,0 +1,70 @@
+"""Unit tests for repro.dmc.indexed_set."""
+
+import numpy as np
+import pytest
+
+from repro.dmc.indexed_set import IndexedSet
+
+
+class TestIndexedSet:
+    def test_add_and_contains(self):
+        s = IndexedSet([1, 2])
+        assert 1 in s and 3 not in s
+        assert len(s) == 2
+
+    def test_add_returns_newness(self):
+        s = IndexedSet()
+        assert s.add(5)
+        assert not s.add(5)
+        assert len(s) == 1
+
+    def test_discard(self):
+        s = IndexedSet([1, 2, 3])
+        assert s.discard(2)
+        assert not s.discard(2)
+        assert 2 not in s
+        assert sorted(s) == [1, 3]
+
+    def test_discard_last_element(self):
+        s = IndexedSet([1])
+        s.discard(1)
+        assert len(s) == 0
+
+    def test_swap_with_last_keeps_positions_consistent(self):
+        s = IndexedSet(range(10))
+        s.discard(0)  # last element (9) swaps into position 0
+        s.discard(9)  # must still be removable
+        assert sorted(s) == list(range(1, 9))
+
+    def test_choose_uniform(self):
+        s = IndexedSet([10, 20, 30, 40])
+        rng = np.random.default_rng(0)
+        draws = [s.choose(rng) for _ in range(8000)]
+        freqs = {v: draws.count(v) / 8000 for v in (10, 20, 30, 40)}
+        for f in freqs.values():
+            assert f == pytest.approx(0.25, abs=0.03)
+
+    def test_choose_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedSet().choose(np.random.default_rng(0))
+
+    def test_clear(self):
+        s = IndexedSet([1, 2])
+        s.clear()
+        assert len(s) == 0
+        assert 1 not in s
+
+    def test_stress_against_reference_set(self):
+        rng = np.random.default_rng(42)
+        s = IndexedSet()
+        ref: set[int] = set()
+        for _ in range(3000):
+            x = int(rng.integers(0, 50))
+            if rng.random() < 0.5:
+                assert s.add(x) == (x not in ref)
+                ref.add(x)
+            else:
+                assert s.discard(x) == (x in ref)
+                ref.discard(x)
+            assert len(s) == len(ref)
+        assert sorted(s) == sorted(ref)

@@ -1,0 +1,88 @@
+"""Tests for repro.io (result archives and text reports)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice
+from repro.dmc import RSM, CoverageObserver
+from repro.io import (
+    format_series,
+    format_surface,
+    format_table,
+    load_result_data,
+    save_result,
+)
+
+
+class TestTraceRoundtrip:
+    def _result(self, ziff, record=False):
+        return RSM(
+            ziff, Lattice((8, 8)), seed=2,
+            observers=[CoverageObserver(0.5)],
+            record_events=record,
+        ).run(until=2.0)
+
+    def test_roundtrip_metadata(self, ziff, tmp_path):
+        res = self._result(ziff)
+        f = tmp_path / "run.npz"
+        save_result(f, res)
+        data = load_result_data(f)
+        assert data["algorithm"] == "RSM"
+        assert data["model_name"] == res.model_name
+        assert tuple(data["lattice_shape"]) == (8, 8)
+        assert data["n_trials"] == res.n_trials
+
+    def test_roundtrip_series(self, ziff, tmp_path):
+        res = self._result(ziff)
+        f = tmp_path / "run.npz"
+        save_result(f, res)
+        data = load_result_data(f)
+        assert np.array_equal(data["times"], res.times)
+        for sp, series in res.coverage.items():
+            assert np.array_equal(data["coverage"][sp], series)
+        assert np.array_equal(data["final_state"], res.final_state.array)
+
+    def test_roundtrip_events(self, ziff, tmp_path):
+        res = self._result(ziff, record=True)
+        f = tmp_path / "run.npz"
+        save_result(f, res)
+        data = load_result_data(f)
+        assert len(data["events"]) == len(res.events)
+        assert np.allclose(data["events"].times, res.events.times)
+
+    def test_no_events_key_when_absent(self, ziff, tmp_path):
+        res = self._result(ziff, record=False)
+        f = tmp_path / "run.npz"
+        save_result(f, res)
+        assert "events" not in load_result_data(f)
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "0.001" in out
+
+    def test_format_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series_downsamples(self):
+        t = np.linspace(0, 1, 500)
+        out = format_series(t, {"x": t * 2}, max_rows=10)
+        assert len(out.splitlines()) <= 13
+
+    def test_format_series_empty(self):
+        assert "empty" in format_series(np.empty(0), {})
+
+    def test_format_surface(self):
+        surf = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = format_surface("N", [10, 20], "p", [2, 4], surf)
+        assert "N\\p" in out
+        assert "4" in out
+
+    def test_format_surface_shape_check(self):
+        with pytest.raises(ValueError):
+            format_surface("N", [10], "p", [2, 4], np.ones((2, 2)))

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.kernels — the execution hot paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, Lattice
+from repro.core.kernels import (
+    _occurrence_index,
+    execute_type_everywhere,
+    run_trials_batch,
+    run_trials_batch_with_duplicates,
+    run_trials_sequential,
+    seq_tables,
+)
+from repro.partition import five_chunk_partition
+from repro.core.rng import draw_types
+
+
+@pytest.fixture
+def comp(ziff, small_lattice):
+    return ziff.compile(small_lattice)
+
+
+def empty_state(ziff, small_lattice):
+    return Configuration.empty(small_lattice, ziff.species).array
+
+
+class TestSequential:
+    def test_executes_enabled(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        t = ziff.type_index("CO_ads")
+        n = run_trials_sequential(state, comp, [0, 1, 2], [t, t, t])
+        assert n == 3
+        assert state[:3].tolist() == [1, 1, 1]
+
+    def test_skips_disabled(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        t = ziff.type_index("CO+O(0)")  # needs CO/O, lattice is empty
+        n = run_trials_sequential(state, comp, [0, 1], [t, t])
+        assert n == 0
+        assert not state.any()
+
+    def test_sequential_dependencies_respected(self, comp, ziff, small_lattice):
+        # second trial targets the site the first just filled
+        state = empty_state(ziff, small_lattice)
+        t = ziff.type_index("CO_ads")
+        n = run_trials_sequential(state, comp, [0, 0], [t, t])
+        assert n == 1  # second attempt sees CO and is disabled
+
+    def test_counts_accumulated(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        counts = np.zeros(comp.n_types, dtype=np.int64)
+        t = ziff.type_index("CO_ads")
+        run_trials_sequential(state, comp, [0, 1], [t, t], counts=counts)
+        assert counts[t] == 2
+        assert counts.sum() == 2
+
+    def test_record_collects_executed_only(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        t_ads = ziff.type_index("CO_ads")
+        t_rx = ziff.type_index("CO+O(0)")
+        record = []
+        run_trials_sequential(
+            state, comp, [0, 1, 2], [t_ads, t_rx, t_ads], record=record
+        )
+        assert [(i, t) for i, t, _ in record] == [(0, t_ads), (2, t_ads)]
+
+    def test_length_mismatch(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        with pytest.raises(ValueError):
+            run_trials_sequential(state, comp, [0, 1], [0])
+
+    def test_seq_tables_cached(self, comp):
+        assert seq_tables(comp) is seq_tables(comp)
+
+
+class TestBatch:
+    def test_matches_sequential_on_conflict_free_sites(
+        self, comp, ziff, small_lattice, rng
+    ):
+        p5 = five_chunk_partition(small_lattice)
+        p5.validate_conflict_free(ziff)
+        # random initial state, same trials through both kernels
+        state0 = rng.integers(0, 3, small_lattice.n_sites).astype(np.uint8)
+        for chunk in p5.chunks:
+            types = draw_types(rng, comp.type_cum, chunk.size)
+            a = state0.copy()
+            b = state0.copy()
+            n_a = run_trials_sequential(a, comp, chunk, types)
+            n_b = run_trials_batch(b, comp, chunk, types)
+            assert n_a == n_b
+            assert np.array_equal(a, b)
+
+    def test_empty_batch(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        n = run_trials_batch(
+            state, comp, np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        )
+        assert n == 0
+
+    def test_counts(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        counts = np.zeros(comp.n_types, dtype=np.int64)
+        t = ziff.type_index("CO_ads")
+        sites = np.array([0, 5, 11], dtype=np.intp)
+        run_trials_batch(state, comp, sites, np.full(3, t), counts=counts)
+        assert counts[t] == 3
+
+    def test_length_mismatch(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        with pytest.raises(ValueError):
+            run_trials_batch(state, comp, np.array([0, 1]), np.array([0]))
+
+
+class TestBatchWithDuplicates:
+    def test_occurrence_index(self):
+        occ = _occurrence_index(np.array([7, 3, 7, 7, 3]))
+        assert occ.tolist() == [0, 0, 1, 2, 1]
+
+    def test_occurrence_index_all_unique(self):
+        assert _occurrence_index(np.array([4, 2, 9])).tolist() == [0, 0, 0]
+
+    def test_matches_sequential_with_repeats(self, comp, ziff, small_lattice, rng):
+        p5 = five_chunk_partition(small_lattice)
+        p5.validate_conflict_free(ziff)
+        chunk = p5.chunks[0]
+        state0 = rng.integers(0, 3, small_lattice.n_sites).astype(np.uint8)
+        # sample with replacement: duplicates guaranteed over 3x chunk size
+        sites = chunk[rng.integers(0, chunk.size, size=chunk.size * 3)]
+        types = draw_types(rng, comp.type_cum, sites.size)
+        a = state0.copy()
+        b = state0.copy()
+        n_a = run_trials_sequential(a, comp, sites, types)
+        n_b = run_trials_batch_with_duplicates(b, comp, sites, types)
+        assert n_a == n_b
+        assert np.array_equal(a, b)
+
+    def test_empty(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        n = run_trials_batch_with_duplicates(
+            state, comp, np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        )
+        assert n == 0
+
+
+class TestExecuteTypeEverywhere:
+    def test_single_site_type(self, comp, ziff, small_lattice):
+        state = empty_state(ziff, small_lattice)
+        t = ziff.type_index("CO_ads")
+        n = execute_type_everywhere(state, comp, t, np.arange(small_lattice.n_sites))
+        assert n == small_lattice.n_sites
+        assert (state == 1).all()
+
+    def test_pair_type_on_checkerboard(self, comp, ziff, small_lattice):
+        from repro.partition import checkerboard
+
+        state = empty_state(ziff, small_lattice)
+        cb = checkerboard(small_lattice)
+        t = ziff.type_index("O2_ads(0)")
+        n = execute_type_everywhere(state, comp, t, cb.chunks[0])
+        assert n == cb.chunks[0].size
+        assert (state == 2).all()  # every site O: anchors + their partners

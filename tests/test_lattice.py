@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.lattice."""
+
+import numpy as np
+import pytest
+
+from repro.core.lattice import Lattice
+
+
+class TestConstruction:
+    def test_2d(self):
+        lat = Lattice((3, 4))
+        assert lat.shape == (3, 4)
+        assert lat.ndim == 2
+        assert lat.n_sites == 12
+
+    def test_1d(self):
+        lat = Lattice((7,))
+        assert lat.ndim == 1
+        assert lat.n_sites == 7
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-d and 2-d"):
+            Lattice((2, 2, 2))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Lattice((0, 5))
+        with pytest.raises(ValueError):
+            Lattice((-3,))
+
+    def test_equality_and_hash(self):
+        assert Lattice((3, 4)) == Lattice((3, 4))
+        assert Lattice((3, 4)) != Lattice((4, 3))
+        assert hash(Lattice((3, 4))) == hash(Lattice((3, 4)))
+
+    def test_repr(self):
+        assert "3, 4" in repr(Lattice((3, 4)))
+
+
+class TestCoordinates:
+    def test_flat_index_row_major(self):
+        lat = Lattice((3, 4))
+        assert lat.flat_index((0, 0)) == 0
+        assert lat.flat_index((0, 3)) == 3
+        assert lat.flat_index((1, 0)) == 4
+        assert lat.flat_index((2, 3)) == 11
+
+    def test_flat_index_wraps(self):
+        lat = Lattice((3, 4))
+        assert lat.flat_index((3, 0)) == lat.flat_index((0, 0))
+        assert lat.flat_index((-1, -1)) == lat.flat_index((2, 3))
+
+    def test_coords_roundtrip(self):
+        lat = Lattice((3, 4))
+        for flat in range(lat.n_sites):
+            assert lat.flat_index(lat.coords(flat)) == flat
+
+    def test_coords_out_of_range(self):
+        lat = Lattice((3, 4))
+        with pytest.raises(IndexError):
+            lat.coords(12)
+        with pytest.raises(IndexError):
+            lat.coords(-1)
+
+    def test_wrap(self):
+        lat = Lattice((3, 4))
+        assert lat.wrap((3, -1)) == (0, 3)
+        assert lat.wrap((5, 9)) == (2, 1)
+
+    def test_wrap_dimension_check(self):
+        with pytest.raises(ValueError):
+            Lattice((3, 4)).wrap((1,))
+
+    def test_sites_enumeration(self):
+        lat = Lattice((2, 3))
+        sites = list(lat.sites())
+        assert len(sites) == 6
+        assert sites[0] == (0, 0)
+        assert sites[-1] == (1, 2)
+
+
+class TestNeighborMaps:
+    def test_identity(self):
+        lat = Lattice((4, 4))
+        m = lat.neighbor_map((0, 0))
+        assert np.array_equal(m, np.arange(16))
+
+    def test_east(self):
+        lat = Lattice((2, 3))
+        m = lat.neighbor_map((0, 1))
+        # site (0, 2) + (0, 1) -> (0, 0)
+        assert m[lat.flat_index((0, 2))] == lat.flat_index((0, 0))
+        assert m[lat.flat_index((0, 0))] == lat.flat_index((0, 1))
+
+    def test_is_permutation(self):
+        lat = Lattice((5, 7))
+        for off in [(1, 0), (0, -1), (2, 3), (-4, 6)]:
+            m = lat.neighbor_map(off)
+            assert np.array_equal(np.sort(m), np.arange(lat.n_sites))
+
+    def test_cached_and_readonly(self):
+        lat = Lattice((4, 4))
+        m1 = lat.neighbor_map((1, 0))
+        m2 = lat.neighbor_map((1, 0))
+        assert m1 is m2
+        with pytest.raises(ValueError):
+            m1[0] = 5
+
+    def test_inverse_offsets_compose_to_identity(self):
+        lat = Lattice((6, 5))
+        fwd = lat.neighbor_map((1, 2))
+        back = lat.neighbor_map((-1, -2))
+        assert np.array_equal(back[fwd], np.arange(lat.n_sites))
+
+    def test_1d_map(self):
+        lat = Lattice((5,))
+        m = lat.neighbor_map((1,))
+        assert m[4] == 0
+        assert m[0] == 1
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Lattice((4, 4)).neighbor_map((1,))
+
+    def test_shift_flat(self):
+        lat = Lattice((3, 3))
+        sites = np.array([0, 4, 8])
+        shifted = lat.shift_flat(sites, (0, 1))
+        expected = [lat.flat_index((0, 1)), lat.flat_index((1, 2)), lat.flat_index((2, 0))]
+        assert shifted.tolist() == expected
+
+
+class TestGeometryHelpers:
+    def test_displacement_minimal_image(self):
+        lat = Lattice((10, 10))
+        assert lat.displacement((0, 0), (0, 9)) == (0, -1)
+        assert lat.displacement((9, 9), (0, 0)) == (1, 1)
+        assert lat.displacement((2, 2), (2, 2)) == (0, 0)
+
+    def test_all_flat_is_writable_copy(self):
+        lat = Lattice((3, 3))
+        a = lat.all_flat()
+        a[0] = 99
+        assert lat.all_flat()[0] == 0
+
+    def test_as_grid_shape_and_view(self):
+        lat = Lattice((3, 4))
+        flat = np.arange(12)
+        grid = lat.as_grid(flat)
+        assert grid.shape == (3, 4)
+        grid[0, 0] = 99
+        assert flat[0] == 99  # a view, not a copy
+
+    def test_as_grid_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Lattice((3, 4)).as_grid(np.arange(11))

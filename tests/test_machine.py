@@ -1,0 +1,92 @@
+"""Unit tests for the simulated parallel machine (Fig. 7 cost model)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import (
+    DEFAULT_2003,
+    MachineSpec,
+    _equal_chunks,
+    pndca_step_time,
+    speedup,
+    speedup_surface,
+)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        assert DEFAULT_2003.t_trial > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(t_trial=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec(t_latency=-1.0)
+        with pytest.raises(ValueError):
+            MachineSpec(acceptance=1.5)
+
+
+class TestStepTime:
+    def test_single_processor_is_pure_compute(self):
+        spec = MachineSpec(t_trial=1e-6, t_latency=1e-4, t_update=1e-7)
+        t = pndca_step_time(spec, [100, 100], p=1)
+        assert t == pytest.approx(200 * 1e-6)
+
+    def test_parallel_adds_overheads(self):
+        spec = MachineSpec(t_trial=1e-6, t_latency=1e-4, t_update=1e-7, acceptance=0.5)
+        t1 = pndca_step_time(spec, [100], p=1)
+        t2 = pndca_step_time(spec, [100], p=2)
+        # work halves (ceil(100/2)*t) but sync+comm are added
+        assert t2 == pytest.approx(50e-6 + 1e-4 + 1e-7 * 0.5 * 100)
+        assert t2 > t1 / 2
+
+    def test_ceil_division(self):
+        spec = MachineSpec(t_trial=1.0, t_latency=1e-9, t_update=1e-12)
+        t = pndca_step_time(spec, [10], p=3)
+        assert t >= 4.0  # ceil(10/3) = 4
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            pndca_step_time(DEFAULT_2003, [10], p=0)
+
+
+class TestSpeedup:
+    def test_p1_is_unity(self):
+        assert speedup(DEFAULT_2003, 100 * 100, p=1) == pytest.approx(1.0)
+
+    def test_bounded_by_p(self):
+        for p in (2, 4, 8):
+            assert speedup(DEFAULT_2003, 500 * 500, p) < p
+
+    def test_monotone_in_lattice_size(self):
+        s = [speedup(DEFAULT_2003, n * n, 8) for n in (200, 400, 800)]
+        assert s[0] < s[1] < s[2]
+
+    def test_fig7_shape(self):
+        """The paper's qualitative claims about Fig. 7."""
+        sides = [200, 400, 600, 800, 1000]
+        ps = list(range(2, 11))
+        surf = speedup_surface(DEFAULT_2003, sides, ps)
+        # grows with N at fixed p
+        assert (np.diff(surf, axis=0) >= -1e-9).all()
+        # maximum at the largest (N, p), around 7-8 as in the paper
+        assert surf.max() == surf[-1, -1]
+        assert 6.5 <= surf[-1, -1] <= 8.5
+        # saturating: the last p-increment gains less than the first
+        gain_first = surf[-1, 1] - surf[-1, 0]
+        gain_last = surf[-1, -1] - surf[-1, -2]
+        assert gain_last < gain_first
+
+    def test_too_many_chunks(self):
+        with pytest.raises(ValueError):
+            speedup(DEFAULT_2003, 3, p=2, m=5)
+
+
+class TestEqualChunks:
+    def test_divisible(self):
+        assert _equal_chunks(100, 5).tolist() == [20] * 5
+
+    def test_remainder_spread(self):
+        sizes = _equal_chunks(103, 5)
+        assert sizes.sum() == 103
+        assert sizes.max() - sizes.min() == 1

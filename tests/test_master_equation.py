@@ -1,0 +1,113 @@
+"""Unit tests for the exact Master Equation propagator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, Lattice, Model, ReactionType
+from repro.dmc import RSM, VSSM, MasterEquation
+
+
+@pytest.fixture
+def two_state_model():
+    """Single-site flip model A <-> B with rates 2 and 1."""
+    return Model(
+        ["A", "B"],
+        [
+            ReactionType("a2b", [((0,), "A", "B")], 2.0),
+            ReactionType("b2a", [((0,), "B", "A")], 1.0),
+        ],
+        name="flip",
+    )
+
+
+class TestConstruction:
+    def test_state_space_size(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((3,)))
+        assert me.n_states == 8
+
+    def test_refuses_large_state_space(self, ziff):
+        with pytest.raises(ValueError, match="exceeds"):
+            MasterEquation(ziff, Lattice((5, 5)))
+
+    def test_encode_decode_roundtrip(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((3,)))
+        for c in range(me.n_states):
+            assert me.encode(me.decode(c)) == c
+
+    def test_generator_columns_sum_to_zero(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((2,)))
+        w = me.generator.toarray()
+        assert np.allclose(w.sum(axis=0), 0.0)
+
+
+class TestAnalyticSolution:
+    """Single site A<->B has the textbook two-state solution."""
+
+    def test_against_closed_form(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((1,)))
+        p0 = np.array([1.0, 0.0])  # start in A
+        times = [0.25, 0.5, 1.0, 2.0]
+        P = me.propagate(p0, times)
+        k1, k2 = 2.0, 1.0
+        for row, t in zip(P, times):
+            p_a = k2 / (k1 + k2) + k1 / (k1 + k2) * np.exp(-(k1 + k2) * t)
+            assert row[me.encode(np.array([0], dtype=np.uint8))] == pytest.approx(p_a, abs=1e-8)
+
+    def test_stationary_distribution(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((1,)))
+        pi = me.stationary()
+        assert pi == pytest.approx([1 / 3, 2 / 3], abs=1e-8)
+
+    def test_probability_conserved(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((3,)))
+        p0 = me.delta(Configuration.filled(Lattice((3,)), two_state_model.species, "A"))
+        P = me.propagate(p0, [0.5, 1.5])
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+
+class TestCoverage:
+    def test_coverage_vector(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((2,)))
+        theta = me.coverage_vector("A")
+        # states: AA, BA, AB, BB in base-2 little-endian coding
+        assert sorted(theta.tolist()) == [0.0, 0.5, 0.5, 1.0]
+
+    def test_expected_coverage_from_delta(self, two_state_model):
+        lat = Lattice((2,))
+        me = MasterEquation(two_state_model, lat)
+        cfg = Configuration.filled(lat, two_state_model.species, "A")
+        assert me.expected_coverage(me.delta(cfg), "A") == pytest.approx(1.0)
+
+
+class TestPropagateValidation:
+    def test_times_must_increase(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((1,)))
+        with pytest.raises(ValueError):
+            me.propagate(np.array([1.0, 0.0]), [1.0, 0.5])
+
+    def test_p0_must_normalise(self, two_state_model):
+        me = MasterEquation(two_state_model, Lattice((1,)))
+        with pytest.raises(ValueError):
+            me.propagate(np.array([0.7, 0.7]), [1.0])
+
+
+class TestGroundTruthVsSimulators:
+    """The headline correctness test: ensemble DMC == exact ME."""
+
+    @pytest.mark.parametrize("cls", [RSM, VSSM])
+    def test_ziff_2x2_ensemble_matches_me(self, ziff, cls):
+        lat = Lattice((2, 2))
+        me = MasterEquation(ziff, lat)
+        p0 = me.delta(Configuration.empty(lat, ziff.species))
+        t_obs = 1.0
+        exact_co = float(me.expected_coverage(me.propagate(p0, [t_obs])[0], "CO"))
+        exact_o = float(me.expected_coverage(me.propagate(p0, [t_obs])[0], "O"))
+        n_runs = 300
+        cos, os_ = [], []
+        for seed in range(n_runs):
+            res = cls(ziff, lat, seed=seed).run(until=t_obs)
+            cos.append(res.final_state.coverage("CO"))
+            os_.append(res.final_state.coverage("O"))
+        # standard error ~ 0.5/sqrt(300) ~ 0.03; allow 4 sigma
+        assert np.mean(cos) == pytest.approx(exact_co, abs=0.06)
+        assert np.mean(os_) == pytest.approx(exact_o, abs=0.06)

@@ -1,0 +1,103 @@
+"""Tests for the automatic mean-field generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.meanfield import (
+    integrate_mean_field,
+    mean_field_rates,
+    mean_field_rhs_for,
+)
+from repro.core import Lattice, Model, ReactionType
+from repro.dmc import RSM
+from repro.models import diffusion_model_2d, pt100_model, ziff_model
+
+
+@pytest.fixture
+def langmuir():
+    """Adsorption/desorption, exactly solvable even beyond mean field."""
+    return Model(
+        ["*", "A"],
+        [
+            ReactionType("ads", [((0, 0), "*", "A")], 2.0),
+            ReactionType("des", [((0, 0), "A", "*")], 1.0),
+        ],
+        name="langmuir",
+    )
+
+
+class TestRates:
+    def test_single_site(self, langmuir):
+        r = mean_field_rates(langmuir, np.array([0.25, 0.75]))
+        assert r.tolist() == [2.0 * 0.25, 1.0 * 0.75]
+
+    def test_pair_pattern_is_quadratic(self, ziff):
+        theta = np.array([0.5, 0.3, 0.2])
+        r = mean_field_rates(ziff, theta)
+        o2 = r[ziff.type_index("O2_ads(0)")]
+        assert o2 == pytest.approx(0.5 * 0.5 * 0.5)  # k * theta_*^2
+        rx = r[ziff.type_index("CO+O(0)")]
+        assert rx == pytest.approx(2.0 * 0.3 * 0.2)
+
+    def test_shape_validation(self, ziff):
+        with pytest.raises(ValueError):
+            mean_field_rates(ziff, np.array([0.5, 0.5]))
+
+
+class TestRHS:
+    def test_conserves_total(self, ziff):
+        rhs = mean_field_rhs_for(ziff)
+        d = rhs(np.array([0.2, 0.5, 0.3]))
+        assert d.sum() == pytest.approx(0.0, abs=1e-14)
+
+    def test_diffusion_is_identically_zero(self):
+        rhs = mean_field_rhs_for(diffusion_model_2d())
+        for theta in ([0.5, 0.5], [0.9, 0.1]):
+            assert np.allclose(rhs(np.array(theta)), 0.0)
+
+    def test_matches_handwritten_pt100(self):
+        """The generic generator reproduces the hand-derived Pt(100)
+        mean field (which was written with the same closure)."""
+        from repro.models import OSCILLATING, mean_field_rhs
+
+        model = pt100_model()
+        generic = mean_field_rhs_for(model)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            theta = rng.dirichlet(np.ones(5))
+            a = generic(theta)
+            b = mean_field_rhs(theta, OSCILLATING)
+            assert np.allclose(a, b, atol=1e-10), (theta, a, b)
+
+
+class TestIntegration:
+    def test_langmuir_closed_form(self, langmuir):
+        # theta(t) = K/(K+1) (1 - exp(-(k_a+k_d) t)), K = k_a/k_d = 2
+        t, cov = integrate_mean_field(langmuir, {"*": 1.0}, t_end=3.0)
+        expected = (2 / 3) * (1 - np.exp(-3.0 * t))
+        assert np.allclose(cov["A"], expected, atol=1e-6)
+
+    def test_dict_initial_with_remainder(self, ziff):
+        t, cov = integrate_mean_field(ziff, {"CO": 0.2}, t_end=1.0)
+        assert cov["*"][0] == pytest.approx(0.8)
+
+    def test_invalid_initial(self, ziff):
+        with pytest.raises(ValueError):
+            integrate_mean_field(ziff, [0.5, 0.5, 0.5], 1.0)
+
+    def test_matches_lattice_when_correlations_are_weak(self, langmuir):
+        # single-site chemistry has no correlations: lattice == mean field
+        t, cov = integrate_mean_field(langmuir, {"*": 1.0}, t_end=2.0)
+        res = RSM(langmuir, Lattice((40, 40)), seed=0).run(until=2.0)
+        assert res.final_state.coverage("A") == pytest.approx(
+            cov["A"][-1], abs=0.03
+        )
+
+    def test_pt100_oscillates_under_generic_mf(self):
+        model = pt100_model()
+        t, cov = integrate_mean_field(
+            model, {"h": 1.0}, t_end=300.0, n_samples=1500
+        )
+        co = cov["hC"] + cov["sC"]
+        late = t > 150
+        assert co[late].max() - co[late].min() > 0.3

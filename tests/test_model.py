@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice, Model, ReactionType
+from repro.core.species import SpeciesRegistry
+
+
+def _rt(name, rate=1.0, group=""):
+    return ReactionType(name, [((0, 0), "*", "A")], rate, group=group)
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Model(["*", "A"], [_rt("ads", 2.0)], name="m")
+        assert m.n_types == 1
+        assert m.total_rate == 2.0
+        assert m.ndim == 2
+        assert list(m.species) == ["*", "A"]
+
+    def test_accepts_registry(self):
+        reg = SpeciesRegistry(["*", "A"])
+        m = Model(reg, [_rt("ads")])
+        assert m.species is reg
+        assert reg.frozen
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Model(["*", "A"], [_rt("x"), _rt("x")])
+
+    def test_unknown_species_rejected(self):
+        rt = ReactionType("r", [((0, 0), "*", "B")], 1.0)
+        with pytest.raises(ValueError, match="unknown species 'B'"):
+            Model(["*", "A"], [rt])
+
+    def test_mixed_dimensionality_rejected(self):
+        rt1 = ReactionType("a", [((0, 0), "*", "A")], 1.0)
+        rt2 = ReactionType("b", [((0,), "*", "A")], 1.0)
+        with pytest.raises(ValueError, match="dimensionality"):
+            Model(["*", "A"], [rt1, rt2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Model(["*"], [])
+
+    def test_rates_read_only(self):
+        m = Model(["*", "A"], [_rt("ads")])
+        with pytest.raises(ValueError):
+            m.rates[0] = 5.0
+
+
+class TestLookups:
+    def test_type_index(self):
+        m = Model(["*", "A"], [_rt("a"), _rt("b")])
+        assert m.type_index("b") == 1
+        with pytest.raises(KeyError):
+            m.type_index("zzz")
+
+    def test_groups(self, ziff):
+        assert ziff.groups() == ["CO+O", "O2_ads", "CO_ads"]
+
+    def test_types_in_group(self, ziff):
+        assert ziff.types_in_group("CO+O") == [0, 1, 2, 3]
+        assert ziff.types_in_group("CO_ads") == [6]
+        with pytest.raises(KeyError):
+            ziff.types_in_group("nope")
+
+    def test_union_neighborhood(self, ziff):
+        assert set(ziff.union_neighborhood()) == {
+            (0, 0), (1, 0), (0, 1), (-1, 0), (0, -1)
+        }
+
+    def test_empty_code(self, ziff):
+        assert ziff.empty_code() == 0
+
+
+class TestWithRates:
+    def test_replaces_group(self, ziff):
+        m2 = ziff.with_rates({"CO+O": 9.0})
+        for i in m2.types_in_group("CO+O"):
+            assert m2.reaction_types[i].rate == 9.0
+        # untouched types keep their rates
+        assert m2.reaction_types[m2.type_index("CO_ads")].rate == 1.0
+
+    def test_replaces_single_name(self, ziff):
+        m2 = ziff.with_rates({"O2_ads(0)": 7.0})
+        assert m2.reaction_types[m2.type_index("O2_ads(0)")].rate == 7.0
+        assert m2.reaction_types[m2.type_index("O2_ads(1)")].rate == 0.5
+
+    def test_unknown_key_raises(self, ziff):
+        with pytest.raises(KeyError):
+            ziff.with_rates({"nope": 1.0})
+
+    def test_total_rate_updated(self, ziff):
+        m2 = ziff.with_rates({"CO_ads": 5.0})
+        assert m2.total_rate == pytest.approx(ziff.total_rate + 4.0)
+
+
+class TestCompileGuards:
+    def test_dimension_mismatch(self, adsorption_1d):
+        with pytest.raises(ValueError, match=r"1-d.*2-d|2-d.*1-d"):
+            adsorption_1d.compile(Lattice((4, 4)))
+
+    def test_pattern_larger_than_lattice(self, ziff):
+        with pytest.raises(ValueError, match="smaller than a reaction pattern"):
+            ziff.compile(Lattice((1, 10)))
+
+    def test_describe_contains_all_types(self, ziff):
+        text = ziff.describe()
+        for rt in ziff.reaction_types:
+            assert rt.name in text

@@ -1,0 +1,86 @@
+"""Unit tests for the NDCA."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice, Model, ReactionType
+from repro.dmc import RSM
+from repro.ca import NDCA
+
+
+class TestSweep:
+    def test_one_trial_per_site_per_step(self, ziff):
+        lat = Lattice((8, 8))
+        sim = NDCA(ziff, lat, seed=0)
+        sim._step_block(until=np.inf)
+        assert sim.n_trials == lat.n_sites
+
+    def test_orders(self, ziff):
+        for order in ("raster", "random"):
+            sim = NDCA(ziff, Lattice((6, 6)), seed=0, order=order)
+            res = sim.run(until=1.0)
+            assert res.n_trials > 0
+
+    def test_invalid_order(self, ziff):
+        with pytest.raises(ValueError):
+            NDCA(ziff, Lattice((6, 6)), order="spiral")
+
+    def test_reproducible(self, ziff):
+        lat = Lattice((8, 8))
+        a = NDCA(ziff, lat, seed=5).run(until=3.0)
+        b = NDCA(ziff, lat, seed=5).run(until=3.0)
+        assert np.array_equal(a.final_state.array, b.final_state.array)
+
+    def test_events_have_interpolated_times(self, ziff):
+        sim = NDCA(ziff, Lattice((6, 6)), seed=1, record_events=True)
+        res = sim.run(until=2.0)
+        assert len(res.events) == res.n_executed
+        assert (np.diff(res.events.times) >= 0).all()
+
+
+class TestKinetics:
+    def test_pure_adsorption_shows_documented_bias(self):
+        # with ki/K = 1 every site executes every step: the NDCA fills
+        # the lattice in one MC step, while RSM follows 1 - exp(-t).
+        # this is exactly the site-selection bias of section 4.
+        model = Model(
+            ["*", "A"], [ReactionType("ads", [((0, 0), "*", "A")], 1.0)]
+        )
+        lat = Lattice((30, 30))
+        a = NDCA(model, lat, seed=0).run(until=1.2).final_state.coverage("A")
+        b = RSM(model, lat, seed=0).run(until=1.2).final_state.coverage("A")
+        assert a == pytest.approx(1.0)
+        assert b == pytest.approx(1 - np.exp(-1.2), abs=0.05)
+        assert a > b
+
+    def test_diluted_adsorption_agrees_with_rsm(self):
+        # when ki/K is small the per-step execution probability
+        # approximates the exponential thinning and NDCA tracks the ME
+        model = Model(
+            ["*", "A"],
+            [
+                ReactionType("ads", [((0, 0), "*", "A")], 1.0),
+                ReactionType("tick", [((0, 0), "*", "*")], 9.0),
+            ],
+        )
+        lat = Lattice((30, 30))
+        a = NDCA(model, lat, seed=0).run(until=1.5).final_state.coverage("A")
+        assert a == pytest.approx(1 - np.exp(-1.5), abs=0.05)
+
+    def test_raster_sweep_advects_1d_diffusion(self):
+        # the documented NDCA artefact: a raster sweep drags particles
+        # along the sweep direction (hop chains within one step)
+        from repro.models import diffusion_model_1d, equally_spaced, single_file_model, tracer_displacements
+
+        model = single_file_model()
+        lat = Lattice((64,))
+        initial = equally_spaced(lat, model, 16)
+        sim = NDCA(model, lat, seed=0, order="raster", initial=initial, record_events=True)
+        sim.run(until=10.0)
+        disp = tracer_displacements(initial, sim.trace, model)
+        rsm = RSM(model, lat, seed=0, initial=initial, record_events=True)
+        rsm.run(until=10.0)
+        disp_rsm = tracer_displacements(initial, rsm.trace, model)
+        assert np.mean(disp.astype(float) ** 2) > 3 * np.mean(
+            disp_rsm.astype(float) ** 2
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for the observer/result machinery in repro.dmc.base."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice
+from repro.dmc import RSM, CoverageObserver, SnapshotObserver
+
+
+class TestCoverageObserver:
+    def test_samples_on_grid(self, ziff):
+        sim = RSM(
+            ziff, Lattice((10, 10)), seed=0,
+            observers=[CoverageObserver(0.5)],
+        )
+        res = sim.run(until=3.0)
+        assert res.times.tolist() == pytest.approx(
+            [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+        )
+
+    def test_species_subset(self, ziff):
+        sim = RSM(
+            ziff, Lattice((10, 10)), seed=0,
+            observers=[CoverageObserver(1.0, species=("CO",))],
+        )
+        res = sim.run(until=2.0)
+        assert set(res.coverage) == {"CO"}
+
+    def test_initial_sample_is_empty_lattice(self, ziff):
+        sim = RSM(
+            ziff, Lattice((10, 10)), seed=0, observers=[CoverageObserver(1.0)]
+        )
+        res = sim.run(until=1.0)
+        assert res.coverage["*"][0] == 1.0
+
+    def test_coverages_sum_to_one(self, ziff):
+        sim = RSM(
+            ziff, Lattice((10, 10)), seed=3, observers=[CoverageObserver(0.5)]
+        )
+        res = sim.run(until=5.0)
+        total = sum(res.coverage[sp] for sp in res.coverage)
+        assert np.allclose(total, 1.0)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            CoverageObserver(0.0)
+
+
+class TestSnapshotObserver:
+    def test_snapshots_collected(self, ziff):
+        obs = SnapshotObserver(1.0)
+        sim = RSM(ziff, Lattice((6, 6)), seed=0, observers=[obs])
+        res = sim.run(until=2.0)
+        snaps = res.extra["snapshots"]
+        assert snaps.shape == (3, 36)
+        # first snapshot is the empty lattice
+        assert not snaps[0].any()
+
+
+class TestSimulationResult:
+    def test_mc_steps(self, ziff):
+        res = RSM(ziff, Lattice((10, 10)), seed=0).run(until=2.0)
+        assert res.mc_steps == pytest.approx(res.n_trials / 100)
+
+    def test_acceptance_in_unit_interval(self, ziff):
+        res = RSM(ziff, Lattice((10, 10)), seed=0).run(until=2.0)
+        assert 0.0 < res.acceptance < 1.0
+
+    def test_summary_mentions_algorithm(self, ziff):
+        res = RSM(ziff, Lattice((10, 10)), seed=0).run(until=1.0)
+        assert "RSM" in res.summary()
+
+    def test_executed_counts_match_total(self, ziff):
+        res = RSM(ziff, Lattice((10, 10)), seed=0).run(until=2.0)
+        assert res.executed_per_type.sum() == res.n_executed
+
+
+class TestRunGuards:
+    def test_until_must_advance(self, ziff):
+        sim = RSM(ziff, Lattice((6, 6)), seed=0)
+        sim.run(until=1.0)
+        with pytest.raises(ValueError):
+            sim.run(until=0.5)
+
+    def test_invalid_time_mode(self, ziff):
+        with pytest.raises(ValueError, match="time mode"):
+            RSM(ziff, Lattice((6, 6)), time_mode="warped")
+
+    def test_initial_lattice_mismatch(self, ziff):
+        from repro.core import Configuration
+
+        other = Configuration.empty(Lattice((4, 4)), ziff.species)
+        with pytest.raises(ValueError, match="different lattice"):
+            RSM(ziff, Lattice((6, 6)), initial=other)
+
+    def test_deterministic_time_mode(self, ziff):
+        lat = Lattice((10, 10))
+        sim = RSM(ziff, lat, seed=0, time_mode="deterministic")
+        res = sim.run(until=1.0)
+        # deterministic increments: exactly until (trials * 1/NK ~ until)
+        assert res.final_time == pytest.approx(1.0)
+        expected_trials = round(lat.n_sites * ziff.total_rate * 1.0)
+        assert abs(res.n_trials - expected_trials) <= 1

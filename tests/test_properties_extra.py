@@ -1,0 +1,166 @@
+"""Additional property-based tests: builder, conservation, correlations.
+
+These close the loop between the generative machinery (random models
+built with the DSL) and the analytic machinery (conservation laws
+derived from stoichiometry must hold along every simulated
+trajectory, for every simulator).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Lattice, ModelBuilder
+from repro.core.conservation import (
+    conserved_quantities,
+    is_conserved,
+    stoichiometry_matrix,
+)
+from repro.core.reaction import ORIENTATIONS_4, rotate_offset
+
+# ----------------------------------------------------------------------
+# random models via the builder
+# ----------------------------------------------------------------------
+
+rates = st.floats(0.1, 5.0)
+
+
+@st.composite
+def random_models(draw):
+    """A random 3-species model with a random mix of process kinds."""
+    b = ModelBuilder("random", species=("*", "A", "B"))
+    n_procs = draw(st.integers(1, 5))
+    added = 0
+    for i in range(n_procs):
+        kind = draw(st.sampled_from(
+            ["ads", "des", "diss", "pair", "hop", "flip"]
+        ))
+        k = draw(rates)
+        sp = draw(st.sampled_from(["A", "B"]))
+        other = "B" if sp == "A" else "A"
+        name = f"{kind}{i}"
+        if kind == "ads":
+            b.adsorption(name, sp, k)
+        elif kind == "des":
+            b.desorption(name, sp, k)
+        elif kind == "diss":
+            b.dissociative_adsorption(name, sp, k)
+        elif kind == "pair":
+            b.pair_reaction(name, sp, other, k)
+        elif kind == "hop":
+            b.hop(name, sp, k)
+        else:
+            b.transformation(name, sp, other, k)
+        added += 1
+    return b.build()
+
+
+class TestBuilderProperties:
+    @given(model=random_models())
+    @settings(max_examples=30, deadline=None)
+    def test_every_built_model_is_valid(self, model):
+        assert model.n_types >= 1
+        assert model.total_rate > 0
+        # every reaction type anchors at the origin
+        for rt in model.reaction_types:
+            assert (0, 0) in rt.neighborhood
+
+    @given(model=random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_total_sites_always_conserved(self, model):
+        ones = {name: 1 for name in model.species.names}
+        assert is_conserved(model, ones)
+
+    @given(model=random_models(), seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_derived_laws_hold_on_trajectories(self, model, seed):
+        """Every conserved quantity found from stoichiometry stays
+        constant along an actual RSM trajectory."""
+        from repro.dmc import RSM, SnapshotObserver
+        from repro.core.conservation import check_trajectory_conservation
+
+        lat = Lattice((6, 6))
+        obs = SnapshotObserver(0.5)
+        sim = RSM(model, lat, seed=seed, observers=[obs])
+        sim.run(until=2.0)
+        snaps = list(obs.data()["snapshots"])
+        for law in conserved_quantities(model):
+            assert check_trajectory_conservation(model, snaps, law), law
+
+
+class TestRotationProperties:
+    @given(
+        x=st.integers(-5, 5),
+        y=st.integers(-5, 5),
+        d=st.sampled_from(ORIENTATIONS_4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rotation_preserves_norm(self, x, y, d):
+        rx, ry = rotate_offset((x, y), d)
+        assert rx * rx + ry * ry == x * x + y * y
+
+    @given(x=st.integers(-5, 5), y=st.integers(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_four_rotations_return_home(self, x, y):
+        v = (x, y)
+        for _ in range(4):
+            v = rotate_offset(v, (0, 1))
+        assert v == (x, y)
+
+    @given(x=st.integers(-5, 5), y=st.integers(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_opposite_rotations_cancel(self, x, y):
+        v = rotate_offset((x, y), (0, 1))
+        assert rotate_offset(v, (0, -1)) == (x, y)
+
+
+class TestStoichiometryProperties:
+    @given(model=random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_stoichiometry_rows_sum_to_zero(self, model):
+        # a reaction rewrites sites: total site count change is zero
+        s = stoichiometry_matrix(model)
+        assert (s.sum(axis=1) == 0).all()
+
+    @given(model=random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_nullspace_vectors_annihilate_matrix(self, model):
+        s = stoichiometry_matrix(model)
+        for law in conserved_quantities(model):
+            c = np.array([law[name] for name in model.species.names])
+            assert not (s @ c).any()
+
+
+class TestCorrelationProperties:
+    @given(seed=st.integers(0, 2**31), rho=st.floats(0.3, 0.7))
+    @settings(max_examples=20, deadline=None)
+    def test_random_config_pair_correlation_near_one(self, seed, rho):
+        from repro.analysis import pair_correlation
+        from repro.core import Configuration
+        from repro.core.species import SpeciesRegistry
+
+        sp = SpeciesRegistry(["*", "A"]).freeze()
+        lat = Lattice((50, 50))
+        rng = np.random.default_rng(seed)
+        cfg = Configuration.random(lat, sp, {"A": rho}, rng)
+        g = pair_correlation(cfg, "A", "A", (1, 0))
+        # sampling error of g at these densities is well below 0.2
+        assert np.isfinite(g)
+        assert g == pytest.approx(1.0, abs=0.2)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_pair_correlation_symmetric_in_displacement(self, seed):
+        from repro.analysis import pair_correlation
+        from repro.core import Configuration
+        from repro.core.species import SpeciesRegistry
+
+        sp = SpeciesRegistry(["*", "A"]).freeze()
+        lat = Lattice((12, 12))
+        rng = np.random.default_rng(seed)
+        cfg = Configuration.random(lat, sp, {"A": 0.5}, rng)
+        g1 = pair_correlation(cfg, "A", "A", (1, 0))
+        g2 = pair_correlation(cfg, "A", "A", (-1, 0))
+        # same-species correlation is displacement-reversal symmetric
+        assert g1 == pytest.approx(g2)

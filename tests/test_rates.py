@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.rates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rates import BOLTZMANN_EV, ArrheniusRate, arrhenius, selection_table
+
+
+class TestArrhenius:
+    def test_zero_barrier_gives_prefactor(self):
+        assert arrhenius(1e13, 0.0, 300.0) == pytest.approx(1e13)
+
+    def test_value(self):
+        k = arrhenius(1e13, 1.0, 300.0)
+        assert k == pytest.approx(1e13 * math.exp(-1.0 / (BOLTZMANN_EV * 300.0)))
+
+    def test_monotone_in_temperature(self):
+        assert arrhenius(1.0, 0.5, 400.0) > arrhenius(1.0, 0.5, 300.0)
+
+    def test_monotone_in_barrier(self):
+        assert arrhenius(1.0, 0.2, 300.0) > arrhenius(1.0, 0.4, 300.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arrhenius(0.0, 1.0, 300.0)
+        with pytest.raises(ValueError):
+            arrhenius(1.0, -0.1, 300.0)
+        with pytest.raises(ValueError):
+            arrhenius(1.0, 1.0, 0.0)
+
+    def test_dataclass_wrapper(self):
+        r = ArrheniusRate(nu=2.0, activation_energy=0.0)
+        assert r.at(500.0) == pytest.approx(2.0)
+
+
+class TestSelectionTable:
+    def test_cumulative_normalised(self):
+        cum, total = selection_table(np.array([1.0, 3.0]))
+        assert total == 4.0
+        assert cum.tolist() == [0.25, 1.0]
+
+    def test_last_entry_exactly_one(self):
+        cum, _ = selection_table(np.array([0.1] * 7))
+        assert cum[-1] == 1.0
+
+    def test_selection_probabilities(self):
+        rng = np.random.default_rng(0)
+        cum, _ = selection_table(np.array([1.0, 1.0, 2.0]))
+        draws = np.searchsorted(cum, rng.random(40000), side="right")
+        freq = np.bincount(draws, minlength=3) / 40000
+        assert freq == pytest.approx([0.25, 0.25, 0.5], abs=0.02)
+
+    def test_zero_rate_entry_never_selected(self):
+        rng = np.random.default_rng(1)
+        cum, _ = selection_table(np.array([1.0, 0.0, 1.0]))
+        draws = np.searchsorted(cum, rng.random(10000), side="right")
+        assert not np.any(draws == 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selection_table(np.array([]))
+        with pytest.raises(ValueError):
+            selection_table(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            selection_table(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            selection_table(np.ones((2, 2)))

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.reaction."""
+
+import pytest
+
+from repro.core.reaction import (
+    ORIENTATIONS_2,
+    ORIENTATIONS_4,
+    Change,
+    ReactionType,
+    oriented,
+    rotate_offset,
+)
+
+
+class TestChange:
+    def test_coerces_offset_to_int_tuple(self):
+        c = Change([1.0, 0.0], "A", "B")  # type: ignore[arg-type]
+        assert c.offset == (1, 0)
+
+    def test_translated(self):
+        c = Change((1, 0), "A", "B")
+        assert c.translated((2, 3)).offset == (3, 3)
+        assert c.translated((2, 3)).src == "A"
+
+
+class TestReactionType:
+    def test_basic_properties(self):
+        rt = ReactionType(
+            "r", [((0, 0), "*", "O"), ((1, 0), "*", "O")], rate=0.5
+        )
+        assert rt.n_sites == 2
+        assert rt.neighborhood == ((0, 0), (1, 0))
+        assert rt.source_pattern == ("*", "*")
+        assert rt.target_pattern == ("O", "O")
+        assert rt.species() == {"*", "O"}
+        assert rt.group == "r"  # defaults to the name
+
+    def test_requires_anchor(self):
+        with pytest.raises(ValueError, match="anchor"):
+            ReactionType("r", [((1, 0), "A", "B")], 1.0)
+
+    def test_rejects_duplicate_offsets(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ReactionType("r", [((0, 0), "A", "B"), ((0, 0), "B", "A")], 1.0)
+
+    def test_rejects_mixed_dimensionality(self):
+        with pytest.raises(ValueError, match="dimension"):
+            ReactionType("r", [((0, 0), "A", "B"), ((1,), "A", "B")], 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="positive rate"):
+            ReactionType("r", [((0, 0), "A", "B")], 0.0)
+        with pytest.raises(ValueError, match="positive rate"):
+            ReactionType("r", [((0, 0), "A", "B")], -1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no changes"):
+            ReactionType("r", [], 1.0)
+
+    def test_is_null(self):
+        assert ReactionType("t", [((0, 0), "A", "A")], 1.0).is_null()
+        assert not ReactionType("t", [((0, 0), "A", "B")], 1.0).is_null()
+
+    def test_with_rate(self):
+        rt = ReactionType("r", [((0, 0), "A", "B")], 1.0, group="g")
+        rt2 = rt.with_rate(3.0)
+        assert rt2.rate == 3.0
+        assert rt2.name == "r" and rt2.group == "g"
+
+    def test_describe_matches_paper_notation(self):
+        rt = ReactionType("r", [((0, 0), "CO", "*"), ((1, 0), "O", "*")], 1.0)
+        assert rt.describe() == "{(s,CO,*), (s+(1,0),O,*)}"
+
+    def test_accepts_plain_tuples(self):
+        rt = ReactionType("r", (((0, 0), "A", "B"),), 1.0)
+        assert isinstance(rt.changes[0], Change)
+
+
+class TestRotation:
+    def test_rotate_identity(self):
+        assert rotate_offset((2, 3), (1, 0)) == (2, 3)
+
+    def test_rotate_90(self):
+        # east -> north: (1, 0) -> (0, 1)
+        assert rotate_offset((1, 0), (0, 1)) == (0, 1)
+        assert rotate_offset((0, 1), (0, 1)) == (-1, 0)
+
+    def test_rotate_180(self):
+        assert rotate_offset((1, 0), (-1, 0)) == (-1, 0)
+        assert rotate_offset((2, 3), (-1, 0)) == (-2, -3)
+
+    def test_rejects_non_unit_direction(self):
+        with pytest.raises(ValueError):
+            rotate_offset((1, 0), (1, 1))
+        with pytest.raises(ValueError):
+            rotate_offset((1, 0), (2, 0))
+
+
+class TestOriented:
+    def test_four_orientations_match_paper_order(self):
+        rts = oriented(
+            "CO+O", [((0, 0), "CO", "*"), ((1, 0), "O", "*")], 2.0,
+            directions=ORIENTATIONS_4,
+        )
+        assert [rt.name for rt in rts] == [
+            "CO+O(0)", "CO+O(1)", "CO+O(2)", "CO+O(3)"
+        ]
+        partners = [rt.changes[1].offset for rt in rts]
+        assert partners == [(1, 0), (0, 1), (-1, 0), (0, -1)]
+
+    def test_two_orientations(self):
+        rts = oriented(
+            "O2", [((0, 0), "*", "O"), ((1, 0), "*", "O")], 0.5,
+            directions=ORIENTATIONS_2,
+        )
+        assert len(rts) == 2
+        assert all(rt.rate == 0.5 for rt in rts)
+
+    def test_group_shared(self):
+        rts = oriented("x", [((0, 0), "A", "B"), ((1, 0), "B", "A")], 1.0)
+        assert {rt.group for rt in rts} == {"x"}
+
+    def test_custom_group(self):
+        rts = oriented("x", [((0, 0), "A", "B"), ((1, 0), "B", "A")], 1.0, group="g")
+        assert {rt.group for rt in rts} == {"g"}
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            oriented("x", [((0,), "A", "B")], 1.0)

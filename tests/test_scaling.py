@@ -1,0 +1,82 @@
+"""Tests for the scaling analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import DEFAULT_2003, MachineSpec
+from repro.parallel.scaling import (
+    efficiency,
+    isoefficiency_sites,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+class TestEfficiency:
+    def test_p1_is_one(self):
+        assert efficiency(DEFAULT_2003, 500 * 500, 1) == pytest.approx(1.0)
+
+    def test_in_unit_interval(self):
+        for p in (2, 5, 10):
+            e = efficiency(DEFAULT_2003, 400 * 400, p)
+            assert 0.0 < e <= 1.0
+
+    def test_decreasing_in_p(self):
+        es = [efficiency(DEFAULT_2003, 300 * 300, p) for p in (2, 4, 8)]
+        assert es[0] > es[1] > es[2]
+
+    def test_increasing_in_n(self):
+        es = [efficiency(DEFAULT_2003, n * n, 8) for n in (100, 400, 1000)]
+        assert es[0] < es[1] < es[2]
+
+
+class TestStrongScaling:
+    def test_rows(self):
+        rows = strong_scaling(DEFAULT_2003, 500 * 500, [2, 4, 8])
+        assert [p for p, _, _ in rows] == [2, 4, 8]
+        for p, s, e in rows:
+            assert e == pytest.approx(s / p)
+
+    def test_saturation(self):
+        rows = strong_scaling(DEFAULT_2003, 200 * 200, [2, 4, 8, 16, 32])
+        speedups = [s for _, s, _ in rows]
+        gains = np.diff(speedups)
+        assert gains[-1] < gains[0]  # diminishing returns
+
+
+class TestWeakScaling:
+    def test_efficiency_stays_high(self):
+        rows = weak_scaling(DEFAULT_2003, sites_per_processor=100_000, ps=[2, 4, 8])
+        for _, _, e in rows:
+            assert e > 0.5
+
+    def test_n_grows_linearly(self):
+        rows = weak_scaling(DEFAULT_2003, 1000, [2, 4])
+        assert rows[0][1] == 2000 and rows[1][1] == 4000
+
+    def test_too_small_per_processor(self):
+        with pytest.raises(ValueError):
+            weak_scaling(DEFAULT_2003, 1, [2])
+
+
+class TestIsoefficiency:
+    def test_monotone_in_p(self):
+        rows = isoefficiency_sites(DEFAULT_2003, 0.6, [2, 4, 8])
+        sizes = [n for _, n in rows]
+        assert all(n is not None for n in sizes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_found_sizes_actually_reach_target(self):
+        for p, n in isoefficiency_sites(DEFAULT_2003, 0.6, [2, 6]):
+            assert efficiency(DEFAULT_2003, n, p) >= 0.6
+            assert efficiency(DEFAULT_2003, n - 1, p) < 0.6
+
+    def test_unreachable_target_is_none(self):
+        # a spec with enormous per-update cost caps the efficiency low
+        spec = MachineSpec(t_trial=1e-6, t_latency=1e-4, t_update=1e-4, acceptance=0.5)
+        rows = isoefficiency_sites(spec, 0.9, [8])
+        assert rows[0][1] is None
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            isoefficiency_sites(DEFAULT_2003, 1.5, [2])

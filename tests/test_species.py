@@ -1,0 +1,68 @@
+"""Unit tests for repro.core.species."""
+
+import pytest
+
+from repro.core.species import EMPTY, SpeciesRegistry
+
+
+class TestRegistry:
+    def test_registration_order(self):
+        sp = SpeciesRegistry(["*", "CO", "O"])
+        assert sp.code("*") == 0
+        assert sp.code("CO") == 1
+        assert sp.code("O") == 2
+        assert sp.names == ("*", "CO", "O")
+
+    def test_idempotent_register(self):
+        sp = SpeciesRegistry()
+        a = sp.register("A")
+        assert sp.register("A") == a
+        assert len(sp) == 1
+
+    def test_name_lookup(self):
+        sp = SpeciesRegistry(["*", "A"])
+        assert sp.name(1) == "A"
+        assert sp.name(0) == EMPTY
+
+    def test_unknown_name_raises_with_context(self):
+        sp = SpeciesRegistry(["*"])
+        with pytest.raises(KeyError, match="unknown species 'X'"):
+            sp.code("X")
+
+    def test_unknown_code_raises(self):
+        sp = SpeciesRegistry(["*"])
+        with pytest.raises(KeyError):
+            sp.name(3)
+
+    def test_contains_and_iter(self):
+        sp = SpeciesRegistry(["*", "A"])
+        assert "A" in sp
+        assert "B" not in sp
+        assert list(sp) == ["*", "A"]
+
+    def test_freeze_blocks_registration(self):
+        sp = SpeciesRegistry(["*"]).freeze()
+        assert sp.frozen
+        with pytest.raises(RuntimeError, match="frozen"):
+            sp.register("A")
+
+    def test_freeze_allows_existing(self):
+        sp = SpeciesRegistry(["*", "A"]).freeze()
+        assert sp.register("A") == 1  # idempotent path still fine
+
+    def test_invalid_names(self):
+        sp = SpeciesRegistry()
+        with pytest.raises(ValueError):
+            sp.register("")
+        with pytest.raises(ValueError):
+            sp.register(3)  # type: ignore[arg-type]
+
+    def test_encode_decode_roundtrip(self):
+        sp = SpeciesRegistry(["*", "CO", "O"])
+        codes = sp.encode(["O", "*", "CO"])
+        assert codes.tolist() == [2, 0, 1]
+        assert sp.decode(codes) == ["O", "*", "CO"]
+
+    def test_encode_dtype(self):
+        sp = SpeciesRegistry(["*", "A"])
+        assert sp.encode(["A"]).dtype.name == "uint8"

@@ -1,0 +1,43 @@
+"""Tests for the speedup calibration drivers."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Lattice
+from repro.parallel.machine import DEFAULT_2003
+from repro.parallel.speedup import (
+    calibrated_spec,
+    fig7_surface,
+    measure_acceptance,
+    measure_t_trial,
+)
+
+
+class TestMeasurement:
+    def test_t_trial_positive_and_small(self, ziff):
+        t = measure_t_trial(ziff, Lattice((30, 30)), repeats=3)
+        assert 0 < t < 1e-3  # less than a millisecond per trial
+
+    def test_acceptance_in_range(self, ziff):
+        a = measure_acceptance(ziff, Lattice((30, 30)), steps=10)
+        assert 0.0 < a < 1.0
+
+    def test_calibrated_spec_keeps_network_constants(self, ziff):
+        spec = calibrated_spec(ziff, Lattice((30, 30)))
+        assert spec.t_latency == DEFAULT_2003.t_latency
+        assert spec.t_update == DEFAULT_2003.t_update
+        assert spec.t_trial != DEFAULT_2003.t_trial
+
+
+class TestFig7Surface:
+    def test_default_axes(self):
+        sides, ps, surf = fig7_surface()
+        assert sides[0] == 200 and sides[-1] == 1000
+        assert ps == list(range(2, 11))
+        assert surf.shape == (len(sides), len(ps))
+
+    def test_custom_axes(self):
+        sides, ps, surf = fig7_surface(DEFAULT_2003, sides=[100], ps=[2, 4])
+        assert surf.shape == (1, 2)
+        assert surf[0, 0] < surf[0, 1] < 4

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.state."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, Lattice
+from repro.core.species import SpeciesRegistry
+
+
+@pytest.fixture
+def sp():
+    return SpeciesRegistry(["*", "CO", "O"]).freeze()
+
+
+@pytest.fixture
+def lat():
+    return Lattice((4, 4))
+
+
+class TestConstructors:
+    def test_empty(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        assert c.coverage("*") == 1.0
+        assert c.array.dtype.name == "uint8"
+
+    def test_filled(self, lat, sp):
+        c = Configuration.filled(lat, sp, "O")
+        assert c.coverage("O") == 1.0
+
+    def test_random_fractions(self, lat, sp, rng):
+        c = Configuration.random(Lattice((50, 50)), sp, {"CO": 0.3, "O": 0.2}, rng)
+        assert c.coverage("CO") == pytest.approx(0.3, abs=0.05)
+        assert c.coverage("O") == pytest.approx(0.2, abs=0.05)
+        assert c.coverage("*") == pytest.approx(0.5, abs=0.05)
+
+    def test_random_validates(self, lat, sp, rng):
+        with pytest.raises(ValueError):
+            Configuration.random(lat, sp, {"CO": 1.5}, rng)
+        with pytest.raises(ValueError):
+            Configuration.random(lat, sp, {"CO": -0.1}, rng)
+        with pytest.raises(ValueError):
+            Configuration.random(lat, sp, {"*": 0.5, "CO": 0.1}, rng)
+
+    def test_from_grid_2d(self, sp):
+        lat = Lattice((2, 2))
+        c = Configuration.from_grid(lat, sp, [["*", "CO"], ["O", "*"]])
+        assert c.get((0, 1)) == "CO"
+        assert c.get((1, 0)) == "O"
+
+    def test_from_grid_1d(self, sp):
+        lat = Lattice((3,))
+        c = Configuration.from_grid(lat, sp, ["*", "CO", "O"])
+        assert c.array.tolist() == [0, 1, 2]
+
+    def test_from_grid_wrong_size(self, sp):
+        with pytest.raises(ValueError):
+            Configuration.from_grid(Lattice((3,)), sp, ["*", "CO"])
+
+    def test_shape_validation(self, lat, sp):
+        with pytest.raises(ValueError, match="flat"):
+            Configuration(lat, sp, np.zeros((4, 4), dtype=np.uint8))
+
+    def test_code_validation(self, lat, sp):
+        bad = np.full(16, 9, dtype=np.uint8)
+        with pytest.raises(ValueError, match="outside"):
+            Configuration(lat, sp, bad)
+
+
+class TestAccessAndMeasurement:
+    def test_get_set(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        c.set((1, 2), "CO")
+        assert c.get((1, 2)) == "CO"
+        assert c.get((1, 3)) == "*"
+
+    def test_counts(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        c.set((0, 0), "CO")
+        c.set((0, 1), "CO")
+        c.set((0, 2), "O")
+        assert c.counts().tolist() == [13, 2, 1]
+
+    def test_coverages_dict(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        c.set((0, 0), "O")
+        cov = c.coverages()
+        assert cov["O"] == pytest.approx(1 / 16)
+        assert sum(cov.values()) == pytest.approx(1.0)
+
+    def test_sites_of(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        c.set((0, 3), "CO")
+        assert c.sites_of("CO").tolist() == [3]
+
+    def test_copy_is_deep(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        d = c.copy()
+        d.set((0, 0), "CO")
+        assert c.get((0, 0)) == "*"
+
+    def test_equality(self, lat, sp):
+        a = Configuration.empty(lat, sp)
+        b = Configuration.empty(lat, sp)
+        assert a == b
+        b.set((0, 0), "CO")
+        assert a != b
+
+    def test_grid_is_view(self, lat, sp):
+        c = Configuration.empty(lat, sp)
+        c.grid()[2, 2] = 1
+        assert c.get((2, 2)) == "CO"
+
+    def test_render(self, sp):
+        lat = Lattice((2, 2))
+        c = Configuration.from_grid(lat, sp, [["*", "CO"], ["O", "*"]])
+        assert c.render() == ".C\nO."
+
+    def test_render_custom_symbols(self, sp):
+        lat = Lattice((1, 2))
+        c = Configuration.from_grid(lat, sp, [["*", "O"]])
+        assert c.render({"*": "_", "CO": "c", "O": "o"}) == "_o"

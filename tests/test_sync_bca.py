@@ -1,0 +1,130 @@
+"""Unit tests for the synchronous CA (Fig. 2) and the Block CA (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.ca import BlockCA, ConflictError, SynchronousCA
+from repro.core import Lattice
+from repro.models import (
+    FIG3_INITIAL,
+    diffusion_model_2d,
+    random_gas,
+    zero_spreads_block_rule,
+    zero_spreads_global,
+)
+
+
+class TestSynchronousCA:
+    def _sim(self, policy, seed=0, density=0.4, side=12):
+        model = diffusion_model_2d()
+        lat = Lattice((side, side))
+        initial = random_gas(lat, model, density, np.random.default_rng(seed))
+        return SynchronousCA(
+            model, lat, seed=seed, initial=initial, on_conflict=policy
+        )
+
+    def test_conflicts_detected(self):
+        sim = self._sim("discard")
+        sim.run(until=2.0)
+        assert sim.conflict_rate() > 0.0
+        assert len(sim.conflict_history) > 0
+
+    def test_error_policy_raises(self):
+        sim = self._sim("error")
+        with pytest.raises(ConflictError, match="ill-defined"):
+            sim.run(until=5.0)
+
+    def test_discard_conserves_particles(self):
+        sim = self._sim("discard")
+        n0 = int(np.count_nonzero(sim.state.array))
+        sim.run(until=3.0)
+        assert int(np.count_nonzero(sim.state.array)) == n0
+
+    def test_sequential_conserves_particles(self):
+        sim = self._sim("sequential")
+        n0 = int(np.count_nonzero(sim.state.array))
+        sim.run(until=3.0)
+        assert int(np.count_nonzero(sim.state.array)) == n0
+
+    def test_invalid_policy(self):
+        model = diffusion_model_2d()
+        with pytest.raises(ValueError):
+            SynchronousCA(model, Lattice((6, 6)), on_conflict="pray")
+
+    def test_conflict_rate_grows_with_density(self):
+        rates = []
+        for rho in (0.1, 0.6):
+            sim = self._sim("discard", density=rho)
+            sim.run(until=2.0)
+            rates.append(sim.conflict_rate())
+        assert rates[1] > rates[0]
+
+
+class TestBlockCA:
+    def test_fig3_first_step(self):
+        lat = Lattice((9,))
+        bca = BlockCA(lat, (3,), zero_spreads_block_rule)
+        state = FIG3_INITIAL.copy()
+        bca.step(state)
+        # the paper's second row
+        assert state.tolist() == [0, 0, 1, 1, 1, 1, 0, 0, 1]
+
+    def test_fig3_second_step_uses_shifted_blocks(self):
+        lat = Lattice((9,))
+        bca = BlockCA(lat, (3,), zero_spreads_block_rule)
+        state = FIG3_INITIAL.copy()
+        bca.step(state)
+        bca.step(state)
+        # blocks {1,2,3}, {4,5,6}, {7,8,0} applied to row 2
+        assert state.tolist() == [0, 0, 0, 1, 1, 0, 0, 0, 0]
+
+    def test_zeros_eventually_everywhere(self):
+        lat = Lattice((9,))
+        bca = BlockCA(lat, (3,), zero_spreads_block_rule)
+        state = FIG3_INITIAL.copy()
+        bca.run(state, 6)
+        assert not state.any()
+
+    def test_all_ones_is_fixpoint(self):
+        lat = Lattice((9,))
+        bca = BlockCA(lat, (3,), zero_spreads_block_rule)
+        state = np.ones(9, dtype=np.uint8)
+        bca.run(state, 4)
+        assert state.all()
+
+    def test_shift_schedule_cycles(self):
+        bca = BlockCA(Lattice((9,)), (3,), zero_spreads_block_rule)
+        state = np.ones(9, dtype=np.uint8)
+        seen = []
+        for _ in range(4):
+            seen.append(bca.current_shift())
+            bca.step(state)
+        assert seen == [(0,), (1,), (2,), (0,)]
+
+    def test_divisibility_validation(self):
+        with pytest.raises(ValueError):
+            BlockCA(Lattice((10,)), (3,), zero_spreads_block_rule)
+
+    def test_2d_blocks_roundtrip(self):
+        # identity rule: state unchanged regardless of block reshaping
+        lat = Lattice((6, 4))
+        bca = BlockCA(lat, (2, 2), lambda blocks, rng: blocks)
+        state = np.arange(24, dtype=np.uint8)
+        original = state.copy()
+        bca.run(state, 4)
+        assert np.array_equal(state, original)
+
+    def test_rule_shape_validated(self):
+        bca = BlockCA(Lattice((9,)), (3,), lambda b, rng: b[:1])
+        with pytest.raises(ValueError, match="shape"):
+            bca.step(np.ones(9, dtype=np.uint8))
+
+
+class TestGlobalRule:
+    def test_matches_manual(self):
+        out = zero_spreads_global(np.array([0, 1, 1, 1]))
+        assert out.tolist() == [0, 0, 1, 0]  # periodic: site 3 sees site 0
+
+    def test_all_ones_fixpoint(self):
+        state = np.ones(5, dtype=int)
+        assert zero_spreads_global(state).tolist() == [1] * 5

@@ -1,0 +1,139 @@
+"""Unit tests for repro.partition.tilings."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice
+from repro.partition.tilings import (
+    block_partition,
+    checkerboard,
+    find_modular_tiling,
+    five_chunk_partition,
+    modular_tiling,
+    stripes,
+)
+
+
+class TestModularTiling:
+    def test_labels(self):
+        lat = Lattice((5, 5))
+        p = modular_tiling(lat, 5, (1, 2))
+        labels = p.grid_labels()
+        assert labels[0].tolist() == [0, 2, 4, 1, 3]
+        assert labels[1].tolist() == [1, 3, 0, 2, 4]
+
+    def test_equal_chunks_when_divisible(self):
+        p = modular_tiling(Lattice((10, 10)), 5, (1, 2))
+        assert set(p.sizes.tolist()) == {20}
+
+    def test_validation(self):
+        lat = Lattice((4, 4))
+        with pytest.raises(ValueError):
+            modular_tiling(lat, 0, (1, 1))
+        with pytest.raises(ValueError):
+            modular_tiling(lat, 2, (1,))
+
+    def test_1d(self):
+        p = modular_tiling(Lattice((9,)), 3, (1,))
+        assert p.m == 3
+        assert p.sizes.tolist() == [3, 3, 3]
+
+
+class TestFiveChunk:
+    def test_valid_and_optimal(self, ziff):
+        lat = Lattice((10, 10))
+        p = five_chunk_partition(lat)
+        assert p.m == 5
+        ok, reason = p.check_conflict_free(ziff)
+        assert ok, reason
+
+    def test_wrap_failure_on_bad_side(self, ziff):
+        # 12 is not a multiple of 5: the tiling wraps inconsistently
+        p = five_chunk_partition(Lattice((12, 12)))
+        ok, _ = p.check_conflict_free(ziff)
+        assert not ok
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            five_chunk_partition(Lattice((10,)))
+
+
+class TestSearch:
+    def test_finds_five_for_ziff(self, ziff):
+        m, coeffs = find_modular_tiling(ziff)
+        assert m == 5
+        # the found tiling must actually be conflict-free on a lattice
+        p = modular_tiling(Lattice((2 * m * 5, 2 * m * 5)), m, coeffs)
+        ok, reason = p.check_conflict_free(ziff)
+        assert ok, reason
+
+    def test_finds_two_for_1d_pairs(self, adsorption_1d):
+        from repro.core import Model, ReactionType
+
+        hop = Model(
+            ["*", "A"],
+            [
+                ReactionType("r", [((0,), "A", "*"), ((1,), "*", "A")], 1.0),
+                ReactionType("l", [((0,), "A", "*"), ((-1,), "*", "A")], 1.0),
+            ],
+        )
+        m, coeffs = find_modular_tiling(hop)
+        assert m == 3  # neighborhood spans {-1,0,1}: difference set {±1, ±2}
+
+    def test_onsite_model(self, adsorption_1d):
+        m, _ = find_modular_tiling(adsorption_1d)
+        assert m == 2  # no conflicts at all: any tiling works
+
+    def test_raises_when_not_found(self, ziff):
+        with pytest.raises(ValueError):
+            find_modular_tiling(ziff, max_m=2)
+
+
+class TestCheckerboardStripes:
+    def test_checkerboard_labels(self):
+        p = checkerboard(Lattice((4, 4)))
+        g = p.grid_labels()
+        assert g[0].tolist() == [0, 1, 0, 1]
+        assert g[1].tolist() == [1, 0, 1, 0]
+
+    def test_checkerboard_1d(self):
+        p = checkerboard(Lattice((6,)))
+        assert p.m == 2
+
+    def test_stripes(self):
+        p = stripes(Lattice((4, 4)), axis=1, m=2)
+        g = p.grid_labels()
+        assert g[0].tolist() == [0, 1, 0, 1]
+        assert g[1].tolist() == [0, 1, 0, 1]
+
+    def test_stripes_axis_validation(self):
+        with pytest.raises(ValueError):
+            stripes(Lattice((4, 4)), axis=2)
+
+
+class TestBlocks:
+    def test_1d_blocks(self):
+        p = block_partition(Lattice((9,)), (3,))
+        assert p.m == 3
+        assert p.chunks[0].tolist() == [0, 1, 2]
+
+    def test_1d_blocks_shifted(self):
+        p = block_partition(Lattice((9,)), (3,), shift=(1,))
+        labels = p.chunk_of()
+        # sites 1,2,3 share a block after shifting by one
+        assert labels[1] == labels[2] == labels[3]
+        assert labels[0] != labels[1]
+
+    def test_2d_blocks(self):
+        p = block_partition(Lattice((4, 6)), (2, 3))
+        assert p.m == 4
+        assert set(p.sizes.tolist()) == {6}
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            block_partition(Lattice((9,)), (2,))
+
+    def test_not_conflict_free_for_pairs(self, ziff):
+        p = block_partition(Lattice((10, 10)), (5, 5))
+        ok, _ = p.check_conflict_free(ziff)
+        assert not ok

@@ -1,0 +1,113 @@
+"""Unit tests for the reaction-type-partitioned CA."""
+
+import numpy as np
+import pytest
+
+from repro.ca import TypePartitionedCA, validate_partition_for_single_types
+from repro.core import Lattice
+from repro.partition import Partition, checkerboard, five_chunk_partition
+from repro.partition.typesplit import split_by_orientation
+
+
+class TestValidation:
+    def test_checkerboard_valid_per_single_type(self, ziff, small_lattice):
+        validate_partition_for_single_types(checkerboard(small_lattice), ziff)
+
+    def test_single_chunk_invalid_per_single_type(self, ziff, small_lattice):
+        with pytest.raises(ValueError, match="single type"):
+            validate_partition_for_single_types(
+                Partition.single_chunk(small_lattice), ziff
+            )
+
+    def test_five_chunk_also_valid(self, ziff, small_lattice):
+        # the stronger partition trivially satisfies the weaker rule
+        validate_partition_for_single_types(
+            five_chunk_partition(small_lattice), ziff
+        )
+
+
+class TestSimulator:
+    def test_defaults(self, ziff, small_lattice):
+        sim = TypePartitionedCA(ziff, small_lattice, seed=0)
+        assert sim.partition.m == 2
+        assert sim.type_split.n_subsets == 2
+        assert "|T|=2" in sim.algorithm
+
+    def test_step_accounting(self, ziff, small_lattice):
+        sim = TypePartitionedCA(ziff, small_lattice, seed=0)
+        n = sim._step_block(until=np.inf)
+        # |T| sweeps of one chunk (N/2 sites) each = N trials
+        assert n == small_lattice.n_sites
+        assert sim.n_trials == small_lattice.n_sites
+
+    def test_reproducible(self, ziff, small_lattice):
+        a = TypePartitionedCA(ziff, small_lattice, seed=3).run(until=4.0)
+        b = TypePartitionedCA(ziff, small_lattice, seed=3).run(until=4.0)
+        assert np.array_equal(a.final_state.array, b.final_state.array)
+
+    def test_only_split_types_execute(self, ziff, small_lattice):
+        sim = TypePartitionedCA(ziff, small_lattice, seed=1)
+        res = sim.run(until=3.0)
+        assert res.n_executed > 0
+        assert res.executed_per_type.sum() == res.n_executed
+
+    def test_partition_lattice_mismatch(self, ziff, small_lattice):
+        cb = checkerboard(Lattice((8, 8)))
+        with pytest.raises(ValueError, match="different lattice"):
+            TypePartitionedCA(ziff, small_lattice, partition=cb)
+
+    def test_custom_split(self, ziff, small_lattice):
+        split = split_by_orientation(ziff)
+        sim = TypePartitionedCA(ziff, small_lattice, type_split=split, seed=0)
+        assert sim.type_split is split
+
+    def test_split_model_mismatch(self, ziff, small_lattice):
+        from repro.models import ziff_model
+
+        other = ziff_model()
+        split = split_by_orientation(other)
+        with pytest.raises(ValueError, match="different model"):
+            TypePartitionedCA(ziff, small_lattice, type_split=split)
+
+
+class TestKinetics:
+    def test_pure_adsorption_shows_ca_bias(self):
+        # a single-type model is executed with per-sweep probability 1:
+        # the sweeps fill the lattice much faster than the ME's
+        # 1 - exp(-t) — the accuracy trade the paper describes
+        from repro.core import Model, ReactionType
+
+        model = Model(
+            ["*", "A"], [ReactionType("ads", [((0, 0), "*", "A")], 1.0)]
+        )
+        lat = Lattice((20, 20))
+        cov = (
+            TypePartitionedCA(model, lat, seed=0)
+            .run(until=1.5)
+            .final_state.coverage("A")
+        )
+        assert cov > 1 - np.exp(-1.5)  # systematically fast
+
+    def test_diluted_adsorption_matches_me(self):
+        # when the adsorption is a small share of K, sweep execution
+        # approximates the exponential thinning and the kinetics match
+        from repro.core import Model, ReactionType
+
+        model = Model(
+            ["*", "A"],
+            [
+                ReactionType("ads", [((0, 0), "*", "A")], 1.0),
+                ReactionType("tick", [((0, 0), "*", "*")], 19.0),
+            ],
+        )
+        # per-chunk all-or-nothing filling makes single-run coverage land
+        # on {0, 1/2, 1}: only the ensemble mean is constrained.  The
+        # exact expectation is 1 - E[(1 - 1/(2*20))^sweeps] ~ 0.78 here.
+        lat = Lattice((20, 20))
+        covs = [
+            TypePartitionedCA(model, lat, seed=s)
+            .run(until=1.5)
+            .final_state.coverage("A")
+            for s in range(24)
+        ]
+        assert np.mean(covs) == pytest.approx(1 - np.exp(-1.5), abs=0.15)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.partition.typesplit (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Model, ReactionType, oriented
+from repro.partition.typesplit import split_by_orientation
+
+
+class TestSplitZiff:
+    def test_matches_table2(self, ziff):
+        split = split_by_orientation(ziff)
+        assert split.n_subsets == 2
+        names0 = {ziff.reaction_types[i].name for i in split[0].type_indices}
+        names1 = {ziff.reaction_types[i].name for i in split[1].type_indices}
+        assert names0 == {"CO+O(0)", "CO+O(2)", "O2_ads(0)", "CO_ads"}
+        assert names1 == {"CO+O(1)", "CO+O(3)", "O2_ads(1)"}
+
+    def test_partitions_all_types(self, ziff):
+        split = split_by_orientation(ziff)
+        all_indices = sorted(
+            i for s in split.subsets for i in s.type_indices
+        )
+        assert all_indices == list(range(ziff.n_types))
+
+    def test_subset_rates(self, ziff):
+        split = split_by_orientation(ziff)
+        # T0: two CO+O (2.0 each) + O2(0.5) + CO(1.0) = 5.5
+        assert split[0].total_rate == pytest.approx(5.5)
+        assert split[1].total_rate == pytest.approx(4.5)
+        assert split.total_rate == pytest.approx(ziff.total_rate)
+
+    def test_subset_cum_selects_by_rate(self, ziff):
+        split = split_by_orientation(ziff)
+        rng = np.random.default_rng(0)
+        draws = np.searchsorted(split.subset_cum, rng.random(20000), side="right")
+        frac0 = (draws == 0).mean()
+        assert frac0 == pytest.approx(5.5 / 10.0, abs=0.02)
+
+    def test_describe_mentions_all(self, ziff):
+        text = split_by_orientation(ziff).describe()
+        for rt in ziff.reaction_types:
+            assert rt.name in text
+
+
+class TestSplitEdgeCases:
+    def test_onsite_only_model(self):
+        m = Model(["*", "A"], [ReactionType("ads", [((0, 0), "*", "A")], 1.0)])
+        split = split_by_orientation(m)
+        assert split.n_subsets == 1
+        assert split[0].type_indices == (0,)
+
+    def test_three_site_pattern_rejected(self):
+        rt = ReactionType(
+            "tri",
+            [((0, 0), "*", "A"), ((1, 0), "*", "A"), ((0, 1), "*", "A")],
+            1.0,
+        )
+        m = Model(["*", "A"], [rt])
+        with pytest.raises(ValueError, match="at most two sites"):
+            split_by_orientation(m)
+
+    def test_reversed_orientations_share_subset(self):
+        rts = oriented(
+            "hop", [((0, 0), "A", "*"), ((1, 0), "*", "A")], 1.0
+        )
+        m = Model(["*", "A"], rts)
+        split = split_by_orientation(m)
+        assert split.n_subsets == 2  # x-axis and y-axis
+        for s in split.subsets:
+            assert len(s) == 2  # the +v and -v variants together
