@@ -15,7 +15,7 @@ from .compare import (
     phase_shift,
 )
 from .oscillations import OscillationSummary, analyze_oscillations, resample_uniform
-from .statistics import EnsembleResult, run_ensemble
+from .statistics import EnsembleResult, run_ensemble, stack_statistics
 from .waiting_times import (
     ExponentialityReport,
     check_exponential_waiting_times,
@@ -40,6 +40,7 @@ __all__ = [
     "ensemble_band_distance",
     "EnsembleResult",
     "run_ensemble",
+    "stack_statistics",
     "pair_correlation",
     "nn_pair_fraction",
     "structure_factor",

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..dmc.base import SimulationResult, SimulatorBase
 
-__all__ = ["EnsembleResult", "run_ensemble"]
+__all__ = ["EnsembleResult", "run_ensemble", "stack_statistics"]
 
 
 @dataclass
@@ -33,6 +33,43 @@ class EnsembleResult:
     def band(self, species: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(times, mean, std) for one species."""
         return self.times, self.mean[species], self.std[species]
+
+    def stderr(self, species: str) -> np.ndarray:
+        """Standard error of the ensemble mean, ``std / sqrt(n_runs)``."""
+        return self.std[species] / np.sqrt(self.n_runs)
+
+
+def stack_statistics(
+    times: np.ndarray,
+    stacks: dict[str, np.ndarray],
+    results: list[SimulationResult] | None = None,
+) -> EnsembleResult:
+    """Reduce stacked ``(R, G)`` coverage series to mean/std bands.
+
+    This is the reduction used both by :func:`run_ensemble` (which
+    stacks the series itself from R sequential runs) and by the
+    vectorised ensemble engine
+    (:meth:`repro.ensemble.EnsembleRunResult.statistics`), so the two
+    execution paths report through the identical statistics code.
+    """
+    if not stacks:
+        raise ValueError("no coverage series to reduce; sample with an interval")
+    n_runs = {arr.shape[0] for arr in stacks.values()}
+    if len(n_runs) != 1:
+        raise ValueError(f"inconsistent replica counts across species: {n_runs}")
+    r = n_runs.pop()
+    if r < 1:
+        raise ValueError("need at least one replica")
+    return EnsembleResult(
+        times=np.asarray(times),
+        mean={sp: arr.mean(axis=0) for sp, arr in stacks.items()},
+        std={
+            sp: arr.std(axis=0, ddof=1 if r > 1 else 0)
+            for sp, arr in stacks.items()
+        },
+        n_runs=r,
+        results=results or [],
+    )
 
 
 def run_ensemble(
@@ -64,10 +101,4 @@ def run_ensemble(
     stacks = {
         sp: np.vstack([r.coverage[sp][:n_keep] for r in results]) for sp in species
     }
-    return EnsembleResult(
-        times=times,
-        mean={sp: stacks[sp].mean(axis=0) for sp in species},
-        std={sp: stacks[sp].std(axis=0, ddof=1 if len(results) > 1 else 0) for sp in species},
-        n_runs=len(results),
-        results=results if keep_results else [],
-    )
+    return stack_statistics(times, stacks, results if keep_results else [])

@@ -16,7 +16,9 @@ sites of a chunk can be updated simultaneously* — the source of
 parallelism.  In this package a chunk update is a single vectorised
 batch (:func:`repro.core.kernels.run_trials_batch`); the
 multiprocessing executor (:mod:`repro.parallel.executor`) distributes
-the same batches over worker processes.
+the same batches over worker processes, and the stacked ensemble
+(:class:`repro.ensemble.EnsemblePNDCA`) extends them across R
+independent replicas at once.
 
 The order in which chunks are visited matters for accuracy (it
 introduces correlations in site occupancy); the paper lists four

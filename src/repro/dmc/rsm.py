@@ -16,6 +16,11 @@ purely sequential — each trial sees the state left by the previous one
 — which is exactly why the paper develops the partitioned CA
 alternatives.
 
+For statistics over many independent runs, the stacked
+:class:`repro.ensemble.EnsembleRSM` executes R replicas of this exact
+algorithm concurrently, bit-identical per replica to this class under
+matched seeds.
+
 Implementation notes.  The random site/type/waiting-time draws are
 vectorised in blocks (semantically identical, an order of magnitude
 faster — see :mod:`repro.core.rng`); the state mutation itself runs

@@ -1,0 +1,42 @@
+"""Stacked multi-replica execution: R independent lattices, one array.
+
+The paper's third parallelisation route — "averaging of a large number
+of small, independent simulations" — implemented as SIMD: replicas
+live in a stacked ``(R, N)`` state, trial generation draws per-replica
+blocks, and state mutation runs through the cross-replica kernels of
+:mod:`repro.core.kernels`.  Every supported algorithm is bit-identical
+per replica to its sequential counterpart under the documented RNG
+stream-splitting contract (see :mod:`repro.ensemble.base`).
+
+Use :func:`run_replicated` as the loop-over-replicas reference that
+the benchmarks measure the ensemble engine against.
+"""
+
+from __future__ import annotations
+
+from .base import EnsembleBase
+from .ndca import EnsembleNDCA
+from .pndca import ENSEMBLE_STRATEGIES, EnsemblePNDCA
+from .result import EnsembleRunResult
+from .rsm import EnsembleRSM
+
+__all__ = [
+    "EnsembleBase",
+    "EnsembleRSM",
+    "EnsembleNDCA",
+    "EnsemblePNDCA",
+    "EnsembleRunResult",
+    "ENSEMBLE_STRATEGIES",
+    "run_replicated",
+]
+
+
+def run_replicated(factory, seeds, until: float) -> list:
+    """Loop-over-replicas baseline: one sequential run per seed.
+
+    ``factory(seed)`` must build a fresh simulator; returns the list of
+    :class:`~repro.dmc.base.SimulationResult`.  This is the reference
+    implementation the ensemble engine is benchmarked against and
+    differentially tested to match bit-for-bit.
+    """
+    return [factory(s).run(until=until) for s in seeds]

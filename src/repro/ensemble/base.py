@@ -1,0 +1,265 @@
+"""The ensemble engine base: R independent replicas, one state array.
+
+"The necessary statistics may be obtained from the averaging of a
+large number of small, independent simulations" (paper, section 1).
+The classes in this package execute that averaging *vectorised*: R
+independent replicas of one model/lattice pair live side by side in a
+stacked ``(R, N)`` ``uint8`` array, random draws are made in blocks
+per replica, and state mutation runs through the cross-replica kernels
+of :mod:`repro.core.kernels` (:func:`~repro.core.kernels.run_trials_stacked`
+for conflict-free chunk batches, :func:`~repro.core.kernels.run_trials_interleaved`
+for strictly sequential streams).
+
+The contract that makes the ensemble *testable* is bit-identity: for
+every supported algorithm, replica ``r`` of an ensemble run produces
+exactly the trajectory of the corresponding sequential simulator
+seeded with the same generator — state, times, trial counts and
+sampled coverages all match to the last bit (asserted in
+``tests/test_ensemble.py``).
+
+RNG stream-splitting contract
+-----------------------------
+Each replica owns a private ``numpy.random.Generator`` and consumes
+draws in exactly the order of the sequential algorithm it mirrors.
+Streams come from one of two places:
+
+* ``seeds=[s0, s1, ...]`` — one generator ``default_rng(s_r)`` per
+  entry (entries may also be ``Generator`` instances), so replica
+  ``r`` is bit-identical to the sequential simulator built with
+  ``seed=s_r``;
+* ``n_replicas=R, seed=s`` — generators spawned from
+  ``SeedSequence(s)`` via :func:`repro.core.rng.spawn_rngs`, the
+  standard recipe for statistically independent parallel streams.
+
+Time accounting, trial counts and observer sampling are all
+per-replica; coverages are recorded on one shared uniform grid
+(``sample_interval``), which is what makes the stacked series directly
+reducible to mean/stderr bands (:func:`repro.analysis.statistics.stack_statistics`).
+"""
+
+from __future__ import annotations
+
+import time as _wall
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.compiled import CompiledModel
+from ..core.lattice import Lattice
+from ..core.model import Model
+from ..core.rng import make_rng, spawn_rngs
+from ..core.state import Configuration
+from .result import EnsembleRunResult
+
+__all__ = ["EnsembleBase"]
+
+
+class EnsembleBase(ABC):
+    """Base class for stacked multi-replica simulators.
+
+    Parameters
+    ----------
+    model, lattice:
+        The model and the lattice; all replicas share them.
+    seeds:
+        Per-replica seeds (ints, ``None`` or Generators).  Mutually
+        exclusive with ``n_replicas``/``seed``.
+    n_replicas, seed:
+        Spawn this many independent streams from one ``SeedSequence``.
+    initial:
+        Starting configuration, shared by all replicas; defaults to the
+        same convention as :class:`~repro.dmc.base.SimulatorBase`
+        (all-vacant, or the first species for models without ``"*"``).
+    time_mode:
+        ``"stochastic"`` (exponential waiting times) or
+        ``"deterministic"`` (fixed ``1/(N K)`` per trial), as in the
+        sequential simulators.
+    sample_interval:
+        When given, per-replica coverages are sampled on the uniform
+        grid ``k * sample_interval`` exactly as a
+        :class:`~repro.dmc.base.CoverageObserver` would.
+    species:
+        Species names to sample (default: all).
+    """
+
+    #: short algorithm label, set by subclasses
+    algorithm: str = "?"
+
+    def __init__(
+        self,
+        model: Model,
+        lattice: Lattice,
+        seeds: list | tuple | None = None,
+        n_replicas: int | None = None,
+        seed: int | None = None,
+        initial: Configuration | None = None,
+        time_mode: str = "stochastic",
+        sample_interval: float | None = None,
+        species: tuple[str, ...] | None = None,
+    ):
+        if time_mode not in ("stochastic", "deterministic"):
+            raise ValueError(f"unknown time mode {time_mode!r}")
+        self.model = model
+        self.lattice = lattice
+        self.compiled: CompiledModel = model.compile(lattice)
+        if seeds is not None:
+            if n_replicas is not None and n_replicas != len(seeds):
+                raise ValueError(
+                    f"n_replicas={n_replicas} disagrees with {len(seeds)} seeds"
+                )
+            self.rngs = [make_rng(s) for s in seeds]
+            self.seeds = tuple(s if isinstance(s, int) else None for s in seeds)
+        else:
+            if n_replicas is None:
+                raise ValueError("need either seeds or n_replicas")
+            self.rngs = spawn_rngs(seed, n_replicas)
+            self.seeds = (None,) * n_replicas
+        if not self.rngs:
+            raise ValueError("need at least one replica")
+        r = len(self.rngs)
+        self.n_replicas = r
+
+        if initial is None:
+            from ..core.species import EMPTY
+
+            if EMPTY in model.species:
+                base = Configuration.empty(lattice, model.species)
+            else:
+                base = Configuration.filled(
+                    lattice, model.species, model.species.names[0]
+                )
+        else:
+            if initial.lattice != lattice:
+                raise ValueError("initial configuration is on a different lattice")
+            base = initial
+        #: stacked replica states, shape (R, N)
+        self.states = np.ascontiguousarray(np.tile(base.array, (r, 1)))
+
+        self.time_mode = time_mode
+        self.nk_rate = lattice.n_sites * self.compiled.total_rate
+        #: per-replica simulation times / trial counts
+        self.times = np.zeros(r, dtype=np.float64)
+        self.n_trials = np.zeros(r, dtype=np.int64)
+        self.executed_per_type = np.zeros((r, model.n_types), dtype=np.int64)
+
+        # coverage sampling on a shared uniform grid (one CoverageObserver
+        # state machine per replica, vectorised storage)
+        if sample_interval is not None and sample_interval <= 0:
+            raise ValueError(
+                f"sampling interval must be positive, got {sample_interval}"
+            )
+        self.sample_interval = (
+            float(sample_interval) if sample_interval is not None else None
+        )
+        names = model.species.names
+        self._sample_names = tuple(species) if species is not None else names
+        self._sample_codes = np.array(
+            [model.species.code(nm) for nm in self._sample_names], dtype=np.intp
+        )
+        self._n_species = len(names)
+        self._sample_k = np.zeros(r, dtype=np.intp)
+        self._sample_rows: list[list[np.ndarray]] = [[] for _ in range(r)]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_executed(self) -> np.ndarray:
+        """Executed reactions per replica."""
+        return self.executed_per_type.sum(axis=1)
+
+    def time_increment(self, r: int, n_trials: int) -> float:
+        """Elapsed time for ``n_trials`` of replica ``r`` (cf. SimulatorBase)."""
+        if n_trials <= 0:
+            return 0.0
+        if self.time_mode == "stochastic":
+            return float(
+                self.rngs[r].gamma(shape=n_trials, scale=1.0 / self.nk_rate)
+            )
+        return n_trials / self.nk_rate
+
+    # ------------------------------------------------------------------
+    # per-replica coverage sampling (CoverageObserver semantics)
+    # ------------------------------------------------------------------
+    def _next_due(self, r: int) -> float:
+        """Next grid time of replica ``r`` (inf when not sampling)."""
+        if self.sample_interval is None:
+            return np.inf
+        return self._sample_k[r] * self.sample_interval
+
+    def _sample_replica(self, r: int) -> None:
+        """Record one coverage row for replica ``r`` at its next grid time."""
+        counts = np.bincount(self.states[r], minlength=self._n_species)
+        self._sample_rows[r].append(
+            counts[self._sample_codes] / self.lattice.n_sites
+        )
+        self._sample_k[r] += 1
+
+    def _sample_crossed(self, r: int) -> None:
+        """Sample every grid point of replica ``r`` up to its current time."""
+        if self.sample_interval is None:
+            return
+        while self._next_due(r) <= self.times[r]:
+            self._sample_replica(r)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _step_block(self, until: float, active: np.ndarray) -> int:
+        """Advance the ``active`` replicas by one unit of work.
+
+        Must update ``self.times``, ``self.n_trials``,
+        ``self.executed_per_type``, the states and the samples for the
+        given replica indices; returns total trials attempted (0
+        signals that no progress is possible).
+        """
+
+    def run(self, until: float) -> EnsembleRunResult:
+        """Simulate every replica until the given simulation time."""
+        if until <= float(self.times.min()):
+            raise ValueError(
+                f"until={until} is not beyond current time {self.times.min()}"
+            )
+        wall0 = _wall.perf_counter()
+        for r in range(self.n_replicas):
+            self._sample_crossed(r)
+        while True:
+            active = np.flatnonzero(self.times < until)
+            if active.size == 0:
+                break
+            n = self._step_block(until, active)
+            if n == 0:
+                break  # absorbing state or no work possible
+        wall = _wall.perf_counter() - wall0
+        return self._result(wall)
+
+    def _result(self, wall: float) -> EnsembleRunResult:
+        if self.sample_interval is not None:
+            n_keep = min(len(rows) for rows in self._sample_rows)
+            sample_times = np.arange(n_keep) * self.sample_interval
+            if n_keep:
+                block = np.array(
+                    [rows[:n_keep] for rows in self._sample_rows]
+                )  # (R, G, S)
+            else:
+                block = np.empty(
+                    (self.n_replicas, 0, len(self._sample_names))
+                )
+            coverage = {
+                nm: block[:, :, i] for i, nm in enumerate(self._sample_names)
+            }
+        else:
+            sample_times = np.empty(0)
+            coverage = {}
+        return EnsembleRunResult(
+            algorithm=self.algorithm,
+            model_name=self.model.name,
+            lattice_shape=self.lattice.shape,
+            seeds=self.seeds,
+            final_times=self.times.copy(),
+            n_trials=self.n_trials.copy(),
+            executed_per_type=self.executed_per_type.copy(),
+            wall_time=wall,
+            states=self.states.copy(),
+            lattice=self.lattice,
+            species=self.model.species,
+            sample_times=sample_times,
+            coverage=coverage,
+        )

@@ -1,0 +1,115 @@
+"""The outcome of an ensemble run: stacked per-replica trajectories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.lattice import Lattice
+from ..core.species import SpeciesRegistry
+from ..core.state import Configuration
+from ..dmc.base import SimulationResult
+
+__all__ = ["EnsembleRunResult"]
+
+
+@dataclass
+class EnsembleRunResult:
+    """Stacked results of R independent replicas of one simulation.
+
+    ``coverage[sp]`` has shape ``(R, G)``: one coverage series per
+    replica on the shared grid ``sample_times``.  Use
+    :meth:`statistics` for the mean/stderr reduction, or
+    :meth:`replica_result` to view a single replica as an ordinary
+    :class:`~repro.dmc.base.SimulationResult` (the representation the
+    differential tests compare against sequential runs).
+    """
+
+    algorithm: str
+    model_name: str
+    lattice_shape: tuple[int, ...]
+    seeds: tuple[int | None, ...]
+    final_times: np.ndarray          # (R,)
+    n_trials: np.ndarray             # (R,) int64
+    executed_per_type: np.ndarray    # (R, T) int64
+    wall_time: float
+    states: np.ndarray               # (R, N) uint8
+    lattice: Lattice
+    species: SpeciesRegistry
+    sample_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    coverage: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        """Number of replicas R."""
+        return self.states.shape[0]
+
+    @property
+    def total_trials(self) -> int:
+        """Trials summed over all replicas (the throughput numerator)."""
+        return int(self.n_trials.sum())
+
+    def replica_state(self, r: int) -> Configuration:
+        """Replica ``r``'s final state as a :class:`Configuration`."""
+        return Configuration(self.lattice, self.species, self.states[r].copy())
+
+    def replica_result(self, r: int) -> SimulationResult:
+        """Replica ``r`` viewed as a sequential-run result."""
+        return SimulationResult(
+            algorithm=self.algorithm,
+            model_name=self.model_name,
+            lattice_shape=self.lattice_shape,
+            seed=self.seeds[r],
+            final_time=float(self.final_times[r]),
+            n_trials=int(self.n_trials[r]),
+            n_executed=int(self.executed_per_type[r].sum()),
+            executed_per_type=self.executed_per_type[r].copy(),
+            wall_time=self.wall_time / self.n_replicas,
+            final_state=self.replica_state(r),
+            times=self.sample_times.copy(),
+            coverage={sp: c[r].copy() for sp, c in self.coverage.items()},
+        )
+
+    def statistics(self):
+        """Mean/stderr reduction to an :class:`~repro.analysis.statistics.EnsembleResult`."""
+        from ..analysis.statistics import stack_statistics
+
+        return stack_statistics(self.sample_times, self.coverage)
+
+    def mean_final_coverages(self) -> dict[str, float]:
+        """Species coverages of the final states, averaged over replicas."""
+        n = self.lattice.n_sites
+        hist = np.stack(
+            [np.bincount(row, minlength=len(self.species.names)) for row in self.states]
+        )
+        frac = hist.mean(axis=0) / n
+        return {nm: float(frac[self.species.code(nm)]) for nm in self.species.names}
+
+    def stderr_final_coverages(self) -> dict[str, float]:
+        """Standard error of the mean final coverage per species."""
+        n = self.lattice.n_sites
+        hist = np.stack(
+            [np.bincount(row, minlength=len(self.species.names)) for row in self.states]
+        )
+        frac = hist / n
+        r = self.n_replicas
+        std = frac.std(axis=0, ddof=1 if r > 1 else 0)
+        sem = std / np.sqrt(r)
+        return {nm: float(sem[self.species.code(nm)]) for nm in self.species.names}
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary of the ensemble run."""
+        mean_cov = self.mean_final_coverages()
+        sem = self.stderr_final_coverages()
+        cov_text = ", ".join(
+            f"{k}={v:.3f}±{sem[k]:.3f}" for k, v in mean_cov.items()
+        )
+        return (
+            f"{self.algorithm} ensemble on {self.model_name} "
+            f"{self.lattice_shape}, R={self.n_replicas}: "
+            f"t={self.final_times.mean():g}, {self.total_trials} trials total, "
+            f"wall {self.wall_time:.2f}s\n"
+            f"mean final coverages: {cov_text}"
+        )

@@ -25,6 +25,7 @@ import numpy as np
 from ..ca.pndca import PNDCA
 from ..core.lattice import Lattice
 from ..dmc.rsm import RSM
+from ..ensemble import EnsemblePNDCA, EnsembleRSM
 from ..io.report import format_table
 from ..models.zgb import empty_surface, zgb_model
 from ..partition.tilings import five_chunk_partition
@@ -34,12 +35,22 @@ __all__ = ["PhasePoint", "PhaseDiagram", "run_phase_diagram", "phase_diagram_rep
 
 @dataclass(frozen=True)
 class PhasePoint:
-    """Steady-state coverages of one y point of the sweep."""
+    """Steady-state coverages of one y point of the sweep.
+
+    With ``n_replicas > 1`` the coverages are ensemble means over
+    independent replicas (vectorised via :mod:`repro.ensemble`) and the
+    ``stderr_*`` fields carry the standard errors of those means;
+    single-run points keep the default zero stderr.
+    """
     y: float
     theta_co: float
     theta_o: float
     theta_empty: float
     algorithm: str
+    n_replicas: int = 1
+    stderr_co: float = 0.0
+    stderr_o: float = 0.0
+    stderr_empty: float = 0.0
 
     @property
     def poisoned(self) -> str:
@@ -74,18 +85,29 @@ class PhaseDiagram:
         return y1, y2
 
 
-def _steady_point(y: float, side: int, until: float, seed: int, algorithm: str) -> PhasePoint:
+def _steady_point(
+    y: float,
+    side: int,
+    until: float,
+    seed: int,
+    algorithm: str,
+    n_replicas: int = 1,
+) -> PhasePoint:
     model = zgb_model(y)
     lattice = Lattice((side, side))
     initial = empty_surface(lattice, model)
+    if algorithm not in ("PNDCA", "RSM"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    if n_replicas > 1:
+        return _steady_point_ensemble(
+            model, lattice, initial, until, seed, algorithm, n_replicas, y
+        )
     if algorithm == "PNDCA":
         p5 = five_chunk_partition(lattice)
         p5.validate_conflict_free(model)
         sim = PNDCA(model, lattice, seed=seed, initial=initial, partition=p5)
-    elif algorithm == "RSM":
-        sim = RSM(model, lattice, seed=seed, initial=initial)
     else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+        sim = RSM(model, lattice, seed=seed, initial=initial)
     r = sim.run(until=until)
     cov = r.final_state.coverages()
     return PhasePoint(
@@ -97,14 +119,52 @@ def _steady_point(y: float, side: int, until: float, seed: int, algorithm: str) 
     )
 
 
+def _steady_point_ensemble(
+    model, lattice, initial, until, seed, algorithm, n_replicas, y
+) -> PhasePoint:
+    """One y point as the mean over a stacked replica ensemble."""
+    if algorithm == "PNDCA":
+        p5 = five_chunk_partition(lattice)
+        p5.validate_conflict_free(model)
+        ens = EnsemblePNDCA(
+            model, lattice, n_replicas=n_replicas, seed=seed,
+            initial=initial, partition=p5,
+        )
+    else:
+        ens = EnsembleRSM(
+            model, lattice, n_replicas=n_replicas, seed=seed, initial=initial
+        )
+    res = ens.run(until=until)
+    cov = res.mean_final_coverages()
+    sem = res.stderr_final_coverages()
+    return PhasePoint(
+        y=y,
+        theta_co=cov["CO"],
+        theta_o=cov["O"],
+        theta_empty=cov["*"],
+        algorithm=algorithm,
+        n_replicas=n_replicas,
+        stderr_co=sem["CO"],
+        stderr_o=sem["O"],
+        stderr_empty=sem["*"],
+    )
+
+
 def run_phase_diagram(
     ys: np.ndarray | None = None,
     side: int = 50,  # must be a multiple of 5 (five-chunk tiling)
     until: float = 150.0,  # poisoning needs long horizons to complete
     seed: int = 0,
     rsm_check_ys: tuple[float, ...] = (0.45,),
+    n_replicas: int = 1,
 ) -> PhaseDiagram:
-    """Sweep y with PNDCA; verify selected points with RSM."""
+    """Sweep y with PNDCA; verify selected points with RSM.
+
+    ``n_replicas > 1`` switches every point to the stacked ensemble
+    engine: each coverage becomes a mean over that many independent
+    replicas (with stderr on the :class:`PhasePoint`), at far less than
+    ``n_replicas`` times the single-run cost.
+    """
     if ys is None:
         ys = np.concatenate(
             [
@@ -113,23 +173,37 @@ def run_phase_diagram(
         )
     out = PhaseDiagram()
     for y in ys:
-        out.points.append(_steady_point(float(y), side, until, seed, "PNDCA"))
+        out.points.append(
+            _steady_point(float(y), side, until, seed, "PNDCA", n_replicas)
+        )
     for y in rsm_check_ys:
-        out.rsm_checks.append(_steady_point(float(y), side, until, seed, "RSM"))
+        out.rsm_checks.append(
+            _steady_point(float(y), side, until, seed, "RSM", n_replicas)
+        )
     return out
 
 
 def phase_diagram_report(diagram: PhaseDiagram | None = None) -> str:
     """Render the phase diagram (runs with defaults when no diagram given)."""
     d = diagram or run_phase_diagram()
+    ensembled = any(p.n_replicas > 1 for p in d.points)
+
+    def _fmt(v: float, sem: float) -> str:
+        return f"{v:.3f}±{sem:.3f}" if ensembled else f"{v:.3f}"
+
     body = [
-        (f"{p.y:.3f}", f"{p.theta_co:.3f}", f"{p.theta_o:.3f}",
-         f"{p.theta_empty:.3f}", p.poisoned)
+        (f"{p.y:.3f}", _fmt(p.theta_co, p.stderr_co),
+         _fmt(p.theta_o, p.stderr_o),
+         _fmt(p.theta_empty, p.stderr_empty), p.poisoned)
         for p in d.points
     ]
     y1, y2 = d.transition_estimates()
+    title = "ZGB kinetic phase diagram (PNDCA sweep, five chunks)"
+    if ensembled:
+        r = max(p.n_replicas for p in d.points)
+        title += f" — ensemble means over R={r} replicas"
     lines = [
-        "ZGB kinetic phase diagram (PNDCA sweep, five chunks)",
+        title,
         "",
         format_table(["y", "theta_CO", "theta_O", "theta_*", "poisoned"], body),
         "",
