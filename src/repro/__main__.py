@@ -9,6 +9,10 @@ Commands
     (e.g. ``python -m repro run fig4``).
 ``algorithms``
     Print the algorithm taxonomy table.
+``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--json] [--strict]``
+    Static verification: model sanity, symbolic partition race proofs,
+    RNG draw audit (see :mod:`repro.lint`).  Exit code 1 on findings —
+    the CI gate.
 ``info``
     Package/version/paper information.
 """
@@ -48,6 +52,12 @@ def _cmd_algorithms(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run
+
+    return run(args)
+
+
 def _cmd_info(_args) -> int:
     import repro
 
@@ -77,6 +87,13 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("algorithms", help="print the algorithm taxonomy").set_defaults(
         fn=_cmd_algorithms
     )
+    from repro.lint.cli import add_lint_arguments
+
+    p_lint = sub.add_parser(
+        "lint", help="static conflict/race proofs (models, partitions, kernels)"
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=_cmd_lint)
     sub.add_parser("info", help="package information").set_defaults(fn=_cmd_info)
     args = parser.parse_args(argv)
     try:

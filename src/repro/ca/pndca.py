@@ -93,11 +93,17 @@ class PNDCA(SimulatorBase):
             raise ValueError("need at least one partition")
         if partition_schedule not in ("cycle", "random"):
             raise ValueError(f"unknown partition schedule {partition_schedule!r}")
-        for p in partitions:
-            if p.lattice != self.lattice:
-                raise ValueError("partition belongs to a different lattice")
-            if validate and not p.is_conflict_free(self.model):
-                p.validate_conflict_free(self.model)
+        if validate:
+            from ..lint.engine import preflight_partition
+
+            for p in partitions:
+                if p.lattice != self.lattice:
+                    raise ValueError("partition belongs to a different lattice")
+                preflight_partition(p, self.model)
+        else:
+            for p in partitions:
+                if p.lattice != self.lattice:
+                    raise ValueError("partition belongs to a different lattice")
         self.partitions = partitions
         self.partition_schedule = partition_schedule
         self._step_no = 0

@@ -60,10 +60,12 @@ def validate_partition_for_single_types(partition: Partition, model) -> None:
             clash = (labels == labels[nbr]) & (nbr != np.arange(lat.n_sites))
             if clash.any():
                 s = int(np.flatnonzero(clash)[0])
+                t = int(nbr[s])
                 raise ValueError(
-                    f"partition {partition.name!r} is not conflict-free for "
-                    f"single type {rt.name!r}: sites {lat.coords(s)} and "
-                    f"{lat.coords(int(nbr[s]))} share a chunk (displacement {d})"
+                    f"[SR005] partition {partition.name!r} is not conflict-free "
+                    f"for single type {rt.name!r}: sites "
+                    f"{lat.coords(s)} and {lat.coords(t)} both lie in chunk "
+                    f"{int(labels[s])} (displacement {d})"
                 )
 
 

@@ -29,7 +29,7 @@ CO with O).  This package generates the evidently intended version.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .lattice import Offset

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time as _wall
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

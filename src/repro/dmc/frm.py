@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import heapq
 
-import numpy as np
-
 from .base import SimulatorBase
 
 __all__ = ["FRM"]

@@ -79,11 +79,12 @@ class EnsemblePNDCA(EnsembleBase):
         )
         if not partitions:
             raise ValueError("need at least one partition")
+        from ..lint.engine import preflight_partition
+
         for p in partitions:
             if p.lattice != self.lattice:
                 raise ValueError("partition belongs to a different lattice")
-            if not p.is_conflict_free(self.model):
-                p.validate_conflict_free(self.model)
+            preflight_partition(p, self.model)
         self.partitions = partitions
         self.partition = partitions[0]
         self.strategy = strategy

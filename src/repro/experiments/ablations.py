@@ -21,10 +21,11 @@ from ..core.kernels import run_trials_batch, run_trials_sequential
 from ..core.lattice import Lattice
 from ..core.rng import draw_types, make_rng
 from ..io.report import format_table
+from ..lint import preflight_partition
 from ..models.pt100 import hex_surface
 from ..models.zgb import ziff_model
 from ..partition.tilings import five_chunk_partition
-from .oscillation_common import Curve, make_observer, make_pt100, rsm_factory, run_curve
+from .oscillation_common import Curve, make_observer, rsm_factory, run_curve
 
 __all__ = [
     "StrategyAblation",
@@ -55,7 +56,7 @@ def _pndca_factory(seed: int, strategy: str):
 
     def build(model, lattice) -> SimulatorBase:
         p5 = five_chunk_partition(lattice)
-        p5.validate_conflict_free(model)
+        preflight_partition(p5, model)
         return PNDCA(
             model, lattice, seed=seed, initial=hex_surface(lattice, model),
             partition=p5, strategy=strategy, observers=[make_observer()],
@@ -135,7 +136,7 @@ def run_kernel_ablation(side: int = 100, repeats: int = 20, seed: int = 5) -> Ke
     lattice = Lattice((side, side))
     comp = model.compile(lattice)
     p5 = five_chunk_partition(lattice)
-    p5.validate_conflict_free(model)
+    preflight_partition(p5, model)
     rng = make_rng(seed)
     # a mixed state so matches both succeed and fail
     state0 = rng.integers(0, 3, size=lattice.n_sites).astype(np.uint8)

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..ca.typepart import TypePartitionedCA, validate_partition_for_single_types
 from ..core.lattice import Lattice
 from ..dmc.base import CoverageObserver
@@ -22,7 +20,6 @@ from ..dmc.rsm import RSM
 from ..io.report import format_table
 from ..models.zgb import ziff_model
 from ..partition.coloring import clique_lower_bound
-from ..partition.partition import conflict_displacements
 from ..partition.tilings import checkerboard
 from ..partition.typesplit import split_by_orientation
 

@@ -24,6 +24,7 @@ from ..analysis.oscillations import OscillationSummary, analyze_oscillations
 from ..core.lattice import Lattice
 from ..core.model import Model
 from ..dmc.base import CoverageObserver, SimulatorBase
+from ..lint import preflight_partition
 from ..models.pt100 import hex_surface, pt100_model
 
 __all__ = ["Curve", "run_curve", "make_pt100", "DEFAULT_SIDE", "DEFAULT_UNTIL"]
@@ -132,12 +133,12 @@ def lpndca_factory(
     def build(model: Model, lattice: Lattice) -> SimulatorBase:
         if partition == "five":
             p = five_chunk_partition(lattice)
-            p.validate_conflict_free(model)
+            preflight_partition(p, model)
         elif partition == "single":
             p = Partition.single_chunk(lattice)
         elif partition == "singletons":
             p = Partition.singletons(lattice)
-            p.validate_conflict_free(model)
+            preflight_partition(p, model)
         else:
             raise ValueError(f"unknown partition kind {partition!r}")
         return LPNDCA(

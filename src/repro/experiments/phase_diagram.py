@@ -27,6 +27,7 @@ from ..core.lattice import Lattice
 from ..dmc.rsm import RSM
 from ..ensemble import EnsemblePNDCA, EnsembleRSM
 from ..io.report import format_table
+from ..lint import preflight_model, preflight_partition
 from ..models.zgb import empty_surface, zgb_model
 from ..partition.tilings import five_chunk_partition
 
@@ -94,6 +95,7 @@ def _steady_point(
     n_replicas: int = 1,
 ) -> PhasePoint:
     model = zgb_model(y)
+    preflight_model(model)
     lattice = Lattice((side, side))
     initial = empty_surface(lattice, model)
     if algorithm not in ("PNDCA", "RSM"):
@@ -104,7 +106,7 @@ def _steady_point(
         )
     if algorithm == "PNDCA":
         p5 = five_chunk_partition(lattice)
-        p5.validate_conflict_free(model)
+        preflight_partition(p5, model)
         sim = PNDCA(model, lattice, seed=seed, initial=initial, partition=p5)
     else:
         sim = RSM(model, lattice, seed=seed, initial=initial)
@@ -125,7 +127,7 @@ def _steady_point_ensemble(
     """One y point as the mean over a stacked replica ensemble."""
     if algorithm == "PNDCA":
         p5 = five_chunk_partition(lattice)
-        p5.validate_conflict_free(model)
+        preflight_partition(p5, model)
         ens = EnsemblePNDCA(
             model, lattice, n_replicas=n_replicas, seed=seed,
             initial=initial, partition=p5,

@@ -1,0 +1,67 @@
+"""Static conflict/race proofs for partitions, kernels and models.
+
+``repro.lint`` is a *static analysis* layer over the package: instead
+of checking properties empirically per lattice instance at runtime, it
+proves (or refutes, with a minimal counterexample) structural
+properties of the reaction patterns, the partitions and the kernels —
+once, symbolically, before a simulation ever runs.
+
+Three analysis passes, each emitting :class:`Diagnostic` records with
+stable ``SR0xx`` error codes (see :data:`repro.lint.diagnostics.CODES`):
+
+* :mod:`repro.lint.partition_lint` — the **symbolic partition race
+  detector**.  Reaction patterns are lifted to offset algebra (pattern
+  footprints as lattice-offset sets, chunk membership as residue
+  classes of a modular tiling), so chunk conflict-freedom becomes a
+  residue-arithmetic statement that is proven for *all* periodic
+  lattice sizes at once; failures come with a minimal counterexample
+  (site pair + reaction pair + overlapping cell).
+* :mod:`repro.lint.model_lint` — the **model sanity pass**: per-site
+  NDCA probability mass at the chosen time step, dead/unreachable
+  reactions and species, stoichiometry against declared conservation
+  laws (:mod:`repro.core.conservation`).
+* :mod:`repro.lint.rng_lint` — the **RNG draw-accounting audit**: an
+  AST walk over the sequential kernels and their ensemble counterparts
+  in :mod:`repro.core.kernels` clients, tallying random draws per
+  trial stream, guarding the bit-identical-replica guarantee of the
+  ensemble engine.
+
+Entry points: ``python -m repro lint`` (CI gate, see
+:mod:`repro.lint.cli`) and the :func:`preflight_model` /
+:func:`preflight_partition` gates wired into the experiment drivers
+and the PNDCA construction paths.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import CODES, Diagnostic, LintReport
+from .engine import LintError, preflight_model, preflight_partition, run_lint
+from .model_lint import lint_model
+from .offsets import Conflict, conflict_witnesses
+from .partition_lint import (
+    TilingProof,
+    check_tiling_on_shape,
+    lint_partition,
+    prove_tiling,
+    tiling_conflicts_on_shape,
+)
+from .rng_lint import audit_draws
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "LintError",
+    "Conflict",
+    "TilingProof",
+    "conflict_witnesses",
+    "lint_model",
+    "lint_partition",
+    "prove_tiling",
+    "check_tiling_on_shape",
+    "tiling_conflicts_on_shape",
+    "audit_draws",
+    "preflight_model",
+    "preflight_partition",
+    "run_lint",
+]

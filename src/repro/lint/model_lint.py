@@ -1,0 +1,235 @@
+"""Model sanity pass: probability mass, reachability, conservation.
+
+All checks are static properties of the reaction-type set — nothing is
+simulated:
+
+* **Probability mass** (``SR010``): the NDCA selects reaction type
+  ``i`` with probability ``k_i * dt`` at time step ``dt``; the per-site
+  mass ``Σ_i k_i dt`` must not exceed 1, otherwise the CA's selection
+  step is not a probability distribution.  The package's canonical
+  discretisation ``dt = 1/K`` saturates the bound exactly; coarser
+  steps violate it.
+* **Reachability** (``SR011``/``SR012``): fixed-point closure of the
+  species set under reaction target patterns, starting from the
+  initial species set (by default the simulator convention: the vacant
+  species, or the first species for models without one).  Reactions
+  whose source pattern can never assemble are dead; species neither
+  initial nor produced are unreachable.
+* **Conservation** (``SR014``): every *declared* linear functional
+  must lie in the null space of the stoichiometry matrix
+  (:func:`repro.core.conservation.is_conserved`).
+* **Hygiene** (``SR013``/``SR015``/``SR016``): null reactions, non-finite
+  rate constants, duplicated change patterns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..core.conservation import conserved_quantities, is_conserved
+from ..core.model import Model
+from ..core.species import EMPTY
+from .diagnostics import Diagnostic, LintReport
+
+__all__ = ["lint_model", "reachable_species", "probability_mass"]
+
+
+def default_initial_species(model: Model) -> frozenset[str]:
+    """The simulator default: all-vacant, or all-first-species."""
+    if EMPTY in model.species:
+        return frozenset({EMPTY})
+    return frozenset({model.species.names[0]})
+
+
+def reachable_species(
+    model: Model, initial: Sequence[str] | None = None
+) -> tuple[frozenset[str], frozenset[str]]:
+    """Fixed-point closure ``(reachable species, enabled reactions)``.
+
+    A reaction is (potentially) enabled once every species of its
+    source pattern is reachable; its target species then become
+    reachable.  This over-approximates dynamic reachability (it ignores
+    geometry), so a reaction reported dead here is dead for *every*
+    lattice and trajectory from the given initial species set.
+    """
+    reach = set(initial) if initial is not None else set(default_initial_species(model))
+    unknown = reach - set(model.species.names)
+    if unknown:
+        raise ValueError(f"initial species {sorted(unknown)} not in model domain")
+    enabled: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rt in model.reaction_types:
+            if rt.name in enabled:
+                continue
+            if all(c.src in reach for c in rt.changes):
+                enabled.add(rt.name)
+                changed = True
+                for c in rt.changes:
+                    reach.add(c.tg)
+    return frozenset(reach), frozenset(enabled)
+
+
+def probability_mass(model: Model, dt: float | None = None) -> float:
+    """Per-site reaction probability mass ``Σ_i k_i * dt``.
+
+    ``dt`` defaults to the canonical CA discretisation ``1/K``, for
+    which the mass is exactly 1.
+    """
+    if dt is None:
+        dt = 1.0 / model.total_rate
+    return model.total_rate * dt
+
+
+def lint_model(
+    model: Model,
+    dt: float | None = None,
+    initial_species: Sequence[str] | None = None,
+    conserved: Sequence[Mapping[str, float]] | None = None,
+) -> LintReport:
+    """Run the full model sanity pass; returns the diagnostics report.
+
+    Parameters
+    ----------
+    dt:
+        CA time step for the probability-mass check (default ``1/K``,
+        the canonical choice, which always passes).
+    initial_species:
+        Species present in the initial configuration (default: the
+        simulator convention).  Drives the reachability checks.
+    conserved:
+        Declared conservation laws, each a ``{species: coefficient}``
+        mapping that must be invariant under every reaction.
+    """
+    report = LintReport()
+    subject = model.name
+
+    # --- rates ---------------------------------------------------------
+    for rt in model.reaction_types:
+        if not math.isfinite(rt.rate):
+            report.add(
+                Diagnostic(
+                    code="SR015",
+                    subject=subject,
+                    message=f"reaction {rt.name!r} has non-finite rate {rt.rate!r}",
+                    data={"reaction": rt.name, "rate": repr(rt.rate)},
+                )
+            )
+
+    # --- probability mass ---------------------------------------------
+    mass = probability_mass(model, dt)
+    used_dt = dt if dt is not None else 1.0 / model.total_rate
+    if mass > 1.0 + 1e-12:
+        report.add(
+            Diagnostic(
+                code="SR010",
+                subject=subject,
+                message=(
+                    f"per-site probability mass K*dt = {mass:g} > 1 at time "
+                    f"step dt = {used_dt:g}; the NDCA selection step is not a "
+                    f"distribution (largest admissible dt is "
+                    f"{1.0 / model.total_rate:g})"
+                ),
+                data={"mass": mass, "dt": used_dt, "total_rate": model.total_rate},
+            )
+        )
+
+    # --- reachability --------------------------------------------------
+    initial = (
+        frozenset(initial_species)
+        if initial_species is not None
+        else default_initial_species(model)
+    )
+    reach, enabled = reachable_species(model, sorted(initial))
+    for rt in model.reaction_types:
+        if rt.name not in enabled:
+            missing = sorted({c.src for c in rt.changes} - reach)
+            report.add(
+                Diagnostic(
+                    code="SR011",
+                    subject=subject,
+                    message=(
+                        f"reaction {rt.name!r} is dead: source species "
+                        f"{missing} are unreachable from initial species "
+                        f"{sorted(initial)}"
+                    ),
+                    data={
+                        "reaction": rt.name,
+                        "missing": missing,
+                        "initial": sorted(initial),
+                    },
+                )
+            )
+    for name in model.species.names:
+        if name not in reach:
+            report.add(
+                Diagnostic(
+                    code="SR012",
+                    subject=subject,
+                    message=(
+                        f"species {name!r} is unreachable: not initial and "
+                        f"produced by no enabled reaction"
+                    ),
+                    data={"species": name, "initial": sorted(initial)},
+                )
+            )
+
+    # --- hygiene -------------------------------------------------------
+    for rt in model.reaction_types:
+        if rt.is_null():
+            report.add(
+                Diagnostic(
+                    code="SR013",
+                    subject=subject,
+                    message=(
+                        f"reaction {rt.name!r} is null (src == tg at every "
+                        f"offset): it burns rate {rt.rate:g} without effect"
+                    ),
+                    data={"reaction": rt.name},
+                )
+            )
+    seen_patterns: dict[tuple, str] = {}
+    for rt in model.reaction_types:
+        key = tuple(sorted((c.offset, c.src, c.tg) for c in rt.changes))
+        prev = seen_patterns.get(key)
+        if prev is not None:
+            report.add(
+                Diagnostic(
+                    code="SR016",
+                    subject=subject,
+                    message=(
+                        f"reactions {prev!r} and {rt.name!r} share an identical "
+                        f"change pattern; their rates should be merged"
+                    ),
+                    data={"reactions": [prev, rt.name]},
+                )
+            )
+        else:
+            seen_patterns[key] = rt.name
+
+    # --- conservation --------------------------------------------------
+    for law in conserved or ():
+        if not is_conserved(model, dict(law)):
+            report.add(
+                Diagnostic(
+                    code="SR014",
+                    subject=subject,
+                    message=(
+                        f"declared conservation law {dict(law)} is violated "
+                        f"by the stoichiometry"
+                    ),
+                    data={"law": {k: float(v) for k, v in dict(law).items()}},
+                )
+            )
+    basis = [
+        {k: int(v) if float(v).is_integer() else float(v) for k, v in law.items()}
+        for law in conserved_quantities(model)
+    ]
+    report.note(
+        f"model {model.name!r}: probability mass K*dt = {mass:g}, "
+        f"{len(enabled)}/{model.n_types} reactions reachable, "
+        f"conserved basis {basis}"
+    )
+    return report

@@ -1,0 +1,126 @@
+"""Offset algebra: pattern footprints and conflict-witness attribution.
+
+The non-overlap rule is a statement about *offsets*, not about lattice
+sites: reactions anchored at sites ``s`` and ``t`` touch a common cell
+iff ``t - s = a - b`` for offsets ``a`` in the footprint of one
+reaction type and ``b`` in the footprint of another.  Lifting the rule
+to this offset algebra is what makes conflict-freedom a finite,
+lattice-size-independent property — the whole symbolic race detector
+(:mod:`repro.lint.partition_lint`) operates on the difference set
+``D = {a - b}`` and never enumerates sites.
+
+This module computes the difference set together with a *witness* per
+displacement — the concrete reaction pair and offset pair realising it
+— so that every failed proof names the reactions and the overlapping
+cell of its counterexample, not just an abstract displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lattice import Offset
+from ..core.model import Model
+
+__all__ = ["Witness", "Conflict", "conflict_witnesses", "footprints"]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One realisation ``a - b = d`` of a conflict displacement.
+
+    Reaction ``reaction_a`` anchored at ``s`` touches ``s + offset_a``;
+    reaction ``reaction_b`` anchored at ``t = s + d`` touches
+    ``t + offset_b`` — the same cell.
+    """
+
+    reaction_a: str
+    offset_a: Offset
+    reaction_b: str
+    offset_b: Offset
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A minimal counterexample to the non-overlap rule.
+
+    Two distinct sites ``site_s`` and ``site_t`` share chunk ``chunk``
+    although reactions ``reaction_a`` (anchored at ``site_s``) and
+    ``reaction_b`` (anchored at ``site_t``) both touch the lattice
+    ``cell``; ``displacement`` is ``site_t - site_s`` before periodic
+    wrapping.
+    """
+
+    site_s: Offset
+    site_t: Offset
+    chunk: int
+    displacement: Offset
+    reaction_a: str
+    offset_a: Offset
+    reaction_b: str
+    offset_b: Offset
+    cell: Offset
+
+    def describe(self) -> str:
+        """Human-readable one-liner naming sites, reactions and cell."""
+        return (
+            f"sites {self.site_s} and {self.site_t} share chunk "
+            f"{self.chunk} but {self.reaction_a}@{self.site_s} and "
+            f"{self.reaction_b}@{self.site_t} both touch cell {self.cell} "
+            f"(displacement {self.displacement})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload for :class:`~repro.lint.diagnostics.Diagnostic`."""
+        return {
+            "site_s": list(self.site_s),
+            "site_t": list(self.site_t),
+            "chunk": self.chunk,
+            "displacement": list(self.displacement),
+            "reaction_a": self.reaction_a,
+            "offset_a": list(self.offset_a),
+            "reaction_b": self.reaction_b,
+            "offset_b": list(self.offset_b),
+            "cell": list(self.cell),
+        }
+
+
+def footprints(model: Model) -> dict[str, tuple[Offset, ...]]:
+    """Per-reaction-type footprint ``Nb_Rt`` as offset tuples."""
+    return {rt.name: rt.neighborhood for rt in model.reaction_types}
+
+
+def conflict_witnesses(model: Model) -> dict[Offset, Witness]:
+    """The conflict difference set with one witness per displacement.
+
+    Maps every nonzero ``d = a - b`` (``a`` in the footprint of some
+    reaction type, ``b`` in the footprint of another — or the same)
+    to a :class:`Witness` realising it.  The key set equals
+    :func:`repro.partition.partition.conflict_displacements` of the
+    union neighborhood; the values additionally attribute each
+    displacement to a concrete reaction pair.
+
+    Witness preference: same-reaction pairs are kept only when no
+    cross-reaction pair realises the displacement, and among candidates
+    the lexicographically first (by reaction names, then offsets) wins
+    — deterministic output for stable counterexamples.
+    """
+    out: dict[Offset, Witness] = {}
+    rts = model.reaction_types
+    for rt_a in rts:
+        for rt_b in rts:
+            for a in rt_a.neighborhood:
+                for b in rt_b.neighborhood:
+                    d = tuple(x - y for x, y in zip(a, b))
+                    if not any(d):
+                        continue
+                    cand = Witness(rt_a.name, a, rt_b.name, b)
+                    prev = out.get(d)
+                    if prev is None or _witness_key(cand) < _witness_key(prev):
+                        out[d] = cand
+    return out
+
+
+def _witness_key(w: Witness) -> tuple:
+    """Sort key preferring cross-reaction pairs, then lexicographic order."""
+    return (w.reaction_a == w.reaction_b, w.reaction_a, w.reaction_b, w.offset_a, w.offset_b)

@@ -1,0 +1,304 @@
+"""The symbolic partition race detector.
+
+Chunk membership of a modular tiling is a *residue class*: site ``x``
+belongs to chunk ``(c . x) mod m``.  Two sites ``s`` and
+``t = s + d`` therefore share a chunk iff ``(c . d) ≡ 0 (mod m)`` — a
+statement in offset algebra that never mentions the lattice size.
+Combining it with the conflict difference set ``D`` of the model
+(:func:`repro.lint.offsets.conflict_witnesses`) turns the non-overlap
+rule into residue arithmetic:
+
+*Proof obligation (all aligned sizes).*  The tiling is conflict-free
+on **every** periodic lattice whose sides satisfy
+``c_k * L_k ≡ 0 (mod m)`` (equivalently ``L_k ≡ 0`` modulo
+``m / gcd(c_k, m)``) iff ``(c . d) mod m != 0`` for all ``d in D``.
+On aligned lattices the periodic wrap shifts labels by
+``c_k * L_k ≡ 0``, so the infinite-lattice residue criterion is exact.
+
+*Finite shapes (wrap analysis).*  On an arbitrary shape ``(L_0, ...)``
+the wrapped label difference acquires a *borrow* term: for
+``t = wrap(s + d)`` one has
+``label(t) - label(s) ≡ c . d - Σ_k c_k β_k L_k (mod m)`` where
+``β_k = floor((s_k + d_k)/L_k)`` ranges over a small integer interval.
+Enumerating the ``O(2^ndim)`` achievable borrow vectors per
+displacement decides conflict-freedom for the given shape exactly — in
+``O(|D|)`` arithmetic, still without enumerating sites — and yields a
+minimal witness site for every collision.
+
+Each refutation is materialised as a
+:class:`~repro.lint.offsets.Conflict`: a concrete site pair, the
+reaction pair anchored there, and the overlapping lattice cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from math import gcd
+from typing import Sequence
+
+from ..core.lattice import Offset
+from ..core.model import Model
+from .diagnostics import Diagnostic, LintReport
+from .offsets import Conflict, Witness, conflict_witnesses
+
+__all__ = [
+    "TilingProof",
+    "prove_tiling",
+    "check_tiling_on_shape",
+    "tiling_conflicts_on_shape",
+    "lint_partition",
+]
+
+
+@dataclass(frozen=True)
+class TilingProof:
+    """A certificate that a modular tiling satisfies the non-overlap rule.
+
+    Valid for **all** periodic lattices whose side ``L_k`` is a
+    multiple of ``aligned_moduli[k]`` on every axis — in particular for
+    every lattice the constructors in :mod:`repro.partition.tilings`
+    recommend.  ``n_displacements`` records the size of the conflict
+    difference set the residue criterion was checked against.
+    """
+
+    m: int
+    coeffs: tuple[int, ...]
+    n_displacements: int
+    aligned_moduli: tuple[int, ...]
+
+    def statement(self) -> str:
+        """The proof as one sentence (printed by ``python -m repro lint``)."""
+        sides = ", ".join(
+            f"L{k} ≡ 0 (mod {mod})" for k, mod in enumerate(self.aligned_moduli)
+        )
+        return (
+            f"proof: tiling (x . {self.coeffs}) mod {self.m} is conflict-free "
+            f"for ALL periodic lattices with {sides} — residue (c . d) mod "
+            f"{self.m} is nonzero for each of the {self.n_displacements} "
+            f"conflict displacements"
+        )
+
+
+def _residue(coeffs: Sequence[int], d: Sequence[int], m: int) -> int:
+    """``(c . d) mod m``."""
+    return sum(int(c) * int(x) for c, x in zip(coeffs, d)) % m
+
+
+def _check_spec(model: Model, m: int, coeffs: Sequence[int]) -> tuple[int, ...]:
+    """Validate a tiling spec against a model; returns coeffs as a tuple."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    coeffs = tuple(int(c) for c in coeffs)
+    if len(coeffs) != model.ndim:
+        raise ValueError(
+            f"tiling has {len(coeffs)} coefficients but model "
+            f"{model.name!r} is {model.ndim}-d"
+        )
+    return coeffs
+
+
+def _conflict_from_witness(
+    site_s: tuple[int, ...],
+    d: Offset,
+    w: Witness,
+    chunk: int,
+    shape: Sequence[int] | None,
+) -> Conflict:
+    """Materialise a counterexample; wraps coordinates when a shape is given."""
+
+    def _wrap(x: tuple[int, ...]) -> tuple[int, ...]:
+        if shape is None:
+            return x
+        return tuple(int(c) % int(s) for c, s in zip(x, shape))
+
+    site_t = _wrap(tuple(s + dd for s, dd in zip(site_s, d)))
+    cell = _wrap(tuple(s + a for s, a in zip(site_s, w.offset_a)))
+    return Conflict(
+        site_s=site_s,
+        site_t=site_t,
+        chunk=chunk,
+        displacement=d,
+        reaction_a=w.reaction_a,
+        offset_a=w.offset_a,
+        reaction_b=w.reaction_b,
+        offset_b=w.offset_b,
+        cell=cell,
+    )
+
+
+def prove_tiling(
+    model: Model, m: int, coeffs: Sequence[int]
+) -> tuple[TilingProof | None, list[Conflict]]:
+    """Prove the tiling conflict-free for all aligned lattice sizes.
+
+    Returns ``(proof, [])`` on success or ``(None, counterexamples)``
+    with one minimal counterexample per violating displacement (anchor
+    at the origin; coordinates are infinite-lattice, i.e. unwrapped).
+    No lattice is ever enumerated.
+    """
+    coeffs = _check_spec(model, m, coeffs)
+    witnesses = conflict_witnesses(model)
+    bad: list[Conflict] = []
+    for d in sorted(witnesses):
+        if _residue(coeffs, d, m) == 0:
+            origin = (0,) * model.ndim
+            bad.append(
+                _conflict_from_witness(origin, d, witnesses[d], chunk=0, shape=None)
+            )
+    if bad:
+        return None, bad
+    aligned = tuple(m // gcd(c % m, m) if c % m else 1 for c in coeffs)
+    return TilingProof(m, coeffs, len(witnesses), aligned), []
+
+
+def _borrow_ranges(d: Offset, shape: Sequence[int]) -> list[range]:
+    """Achievable borrow values ``β_k = floor((s_k + d_k)/L_k)`` per axis."""
+    out = []
+    for dk, lk in zip(d, shape):
+        out.append(range(dk // lk, (lk - 1 + dk) // lk + 1))
+    return out
+
+
+def tiling_conflicts_on_shape(
+    model: Model,
+    m: int,
+    coeffs: Sequence[int],
+    shape: Sequence[int],
+    limit: int = 8,
+) -> list[Conflict]:
+    """All conflicts of a modular tiling on one finite periodic shape.
+
+    Exact (no false positives or negatives) and symbolic: the borrow
+    enumeration touches ``O(|D| * 2^ndim)`` residues, never the ``N``
+    sites.  Returns at most one counterexample per displacement, at
+    most ``limit`` in total; an empty list is a conflict-freedom proof
+    for this shape.
+    """
+    coeffs = _check_spec(model, m, coeffs)
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != model.ndim:
+        raise ValueError(f"shape {shape} does not match a {model.ndim}-d model")
+    witnesses = conflict_witnesses(model)
+    out: list[Conflict] = []
+    for d in sorted(witnesses):
+        if all(dk % lk == 0 for dk, lk in zip(d, shape)):
+            continue  # wraps onto the anchor itself: not a site pair
+        for beta in itertools.product(*_borrow_ranges(d, shape)):
+            label_diff = sum(
+                c * (dk - bk * lk) for c, dk, bk, lk in zip(coeffs, d, beta, shape)
+            )
+            if label_diff % m:
+                continue
+            site_s = tuple(
+                max(0, bk * lk - dk) for dk, bk, lk in zip(d, beta, shape)
+            )
+            chunk = _residue(coeffs, site_s, m)
+            out.append(
+                _conflict_from_witness(site_s, d, witnesses[d], chunk, shape)
+            )
+            break  # one witness per displacement suffices
+        if len(out) >= limit:
+            break
+    return out
+
+
+def is_residue_conflict(coeffs: Sequence[int], m: int, d: Sequence[int]) -> bool:
+    """Does the displacement collide already on the infinite lattice?
+
+    True: the conflict is size-independent (SR001).  False: it only
+    appears through the periodic wrap of a misaligned shape (SR002).
+    """
+    return _residue(coeffs, d, m) == 0
+
+
+def check_tiling_on_shape(
+    model: Model,
+    m: int,
+    coeffs: Sequence[int],
+    shape: Sequence[int],
+    limit: int = 8,
+    subject: str | None = None,
+) -> LintReport:
+    """Lint a modular tiling against a model on one lattice shape.
+
+    Residue-class collisions are reported as ``SR001`` (they fail on
+    every aligned size too); collisions introduced only by the wrap of
+    this particular shape as ``SR002``.
+    """
+    coeffs = _check_spec(model, m, coeffs)
+    subject = subject or f"tiling((x . {tuple(coeffs)}) mod {m}) on {tuple(shape)}"
+    report = LintReport()
+    for c in tiling_conflicts_on_shape(model, m, coeffs, shape, limit=limit):
+        code = "SR001" if is_residue_conflict(coeffs, m, c.displacement) else "SR002"
+        report.add(
+            Diagnostic(
+                code=code,
+                subject=subject,
+                message=c.describe(),
+                data=c.to_dict(),
+            )
+        )
+    if not report.diagnostics:
+        report.note(
+            f"{subject}: conflict-free for model {model.name!r} "
+            f"(borrow analysis over all conflict displacements)"
+        )
+    return report
+
+
+def lint_partition(
+    partition,
+    model: Model,
+    limit: int = 8,
+    bounds: bool = False,
+) -> LintReport:
+    """Lint any :class:`~repro.partition.partition.Partition` instance.
+
+    Partitions carrying tiling metadata are routed through the symbolic
+    detector (``SR001``/``SR002``); explicit partitions fall back to
+    the bounded enumerative conflict scan (``SR003``).  With
+    ``bounds=True`` the chunk count is additionally compared against
+    the clique lower bound (``SR004``, informational).
+    """
+    report = LintReport()
+    tiling = getattr(partition, "tiling", None)
+    conflicts = partition.find_conflicts(model, limit=limit)
+    for c in conflicts:
+        if tiling is not None:
+            code = (
+                "SR001"
+                if is_residue_conflict(tiling.coeffs, tiling.m, c.displacement)
+                else "SR002"
+            )
+        else:
+            code = "SR003"
+        report.add(
+            Diagnostic(
+                code=code,
+                subject=partition.name,
+                message=c.describe(),
+                data=c.to_dict(),
+            )
+        )
+    if not conflicts:
+        report.note(
+            f"partition {partition.name!r}: conflict-free for model {model.name!r}"
+        )
+    if bounds:
+        from ..partition.coloring import clique_lower_bound
+
+        lower = clique_lower_bound(model)
+        if partition.m > lower:
+            report.add(
+                Diagnostic(
+                    code="SR004",
+                    subject=partition.name,
+                    message=(
+                        f"{partition.m} chunks where the clique lower bound "
+                        f"is {lower} (fewer chunks => more parallelism)"
+                    ),
+                    data={"m": partition.m, "clique_lower_bound": lower},
+                )
+            )
+    return report

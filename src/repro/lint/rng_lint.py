@@ -1,0 +1,323 @@
+"""RNG draw-accounting audit: sequential kernels vs. ensemble twins.
+
+The ensemble engine's contract (PR 1) is *bit-identity*: replica ``r``
+of an ensemble simulator must consume random draws in exactly the
+order of the matching sequential simulator seeded the same way.  That
+contract is easy to break silently — one extra ``rng.random()`` in an
+ensemble step block desynchronises every stream without failing any
+invariant check.
+
+This pass audits the contract *statically*: it parses the source of
+each (sequential, ensemble) simulator pair with :mod:`ast`, collects
+every random draw together with the stream it is drawn from, and
+compares the tallies:
+
+* a **replica-stream** draw (``self.rng`` sequentially; ``self.rngs[r]``
+  or a local alias of it in the ensemble) of a kind the sequential
+  twin never performs is an error (``SR030``);
+* randomness that belongs to the *shared schedule* (chunk order,
+  partition choice) must come from the dedicated schedule generator,
+  never from a replica stream (``SR031``);
+* a sequential draw kind missing from the ensemble twin is suspicious
+  (``SR032``, warning) unless the pair declares it optional (e.g. the
+  ``"weighted"`` strategy, intentionally unsupported by ensembles).
+
+Draw kinds are ``numpy.random.Generator`` method names; the block-draw
+helpers of :mod:`repro.core.rng` are mapped to the kind they consume
+(``draw_sites -> integers``, ``draw_types -> random``,
+``draw_exponentials -> exponential``).  ``types_from_uniforms``
+consumes no randomness and is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import textwrap
+from dataclasses import dataclass
+
+from .diagnostics import Diagnostic, LintReport
+
+__all__ = [
+    "DrawEvent",
+    "collect_draws",
+    "collect_draws_source",
+    "audit_events",
+    "audit_pair",
+    "audit_draws",
+    "DRAW_PAIRS",
+]
+
+
+#: numpy Generator methods counted as draws
+GENERATOR_METHODS = frozenset(
+    {
+        "random",
+        "integers",
+        "permutation",
+        "choice",
+        "exponential",
+        "gamma",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "shuffle",
+    }
+)
+
+#: block-draw helpers of repro.core.rng -> underlying draw kind
+HELPER_KINDS = {
+    "draw_sites": "integers",
+    "draw_types": "random",
+    "draw_exponentials": "exponential",
+}
+
+
+@dataclass(frozen=True)
+class DrawEvent:
+    """One static draw site: kind, stream, and where it appears."""
+
+    kind: str
+    stream: str  # "replica" | "schedule"
+    owner: str  # class defining the method
+    method: str
+    lineno: int
+
+
+def _stream_of(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Classify the generator expression a draw is performed on.
+
+    ``self.rng`` and ``self.rngs[...]`` are replica streams;
+    ``self.schedule_rng`` is the shared-schedule stream; local names
+    are resolved through simple-assignment aliases (``rng =
+    self.rngs[r]``).  Anything else (module objects, unrelated calls)
+    returns None and is not counted.
+    """
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self" and node.attr == "rng":
+            return "replica"
+        if node.value.id == "self" and node.attr == "schedule_rng":
+            return "schedule"
+        return None
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and base.attr == "rngs"
+        ):
+            return "replica"
+        return None
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id)
+    return None
+
+
+def _collect_aliases(fn: ast.FunctionDef) -> dict[str, str]:
+    """Local names bound to a generator stream by simple assignment."""
+    aliases: dict[str, str] = {}
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                stream = _stream_of(stmt.value, aliases)
+                if stream is not None:
+                    aliases[target.id] = stream
+    return aliases
+
+
+def _draws_in_function(fn: ast.FunctionDef, owner: str) -> list[DrawEvent]:
+    """All draw events inside one method body."""
+    aliases = _collect_aliases(fn)
+    events: list[DrawEvent] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # generator method call: <stream>.<method>(...)
+        if isinstance(func, ast.Attribute) and func.attr in GENERATOR_METHODS:
+            stream = _stream_of(func.value, aliases)
+            if stream is not None:
+                events.append(
+                    DrawEvent(func.attr, stream, owner, fn.name, node.lineno)
+                )
+            continue
+        # helper call: draw_types(<stream>, ...)
+        if isinstance(func, ast.Name) and func.id in HELPER_KINDS and node.args:
+            stream = _stream_of(node.args[0], aliases)
+            if stream is not None:
+                events.append(
+                    DrawEvent(
+                        HELPER_KINDS[func.id], stream, owner, fn.name, node.lineno
+                    )
+                )
+    return events
+
+
+def collect_draws_source(source: str) -> list[DrawEvent]:
+    """Draw events from a source snippet of one or more class definitions."""
+    tree = ast.parse(textwrap.dedent(source))
+    events: list[DrawEvent] = []
+    for cls_node in tree.body:
+        if not isinstance(cls_node, ast.ClassDef):
+            continue
+        for item in cls_node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                events.extend(_draws_in_function(item, cls_node.name))
+    return events
+
+
+def collect_draws(cls: type) -> list[DrawEvent]:
+    """Every static draw event of a simulator class, bases included.
+
+    Walks the MRO restricted to classes defined inside the ``repro``
+    package, parses each class source once, and gathers draw events
+    from every method body.
+    """
+    events: list[DrawEvent] = []
+    seen: set[str] = set()
+    for klass in inspect.getmro(cls):
+        if not klass.__module__.startswith("repro"):
+            continue
+        key = f"{klass.__module__}.{klass.__qualname__}"
+        if key in seen:
+            continue
+        seen.add(key)
+        events.extend(collect_draws_source(inspect.getsource(klass)))
+    return events
+
+
+@dataclass(frozen=True)
+class DrawPair:
+    """One (sequential, ensemble) simulator pair and its draw contract."""
+
+    name: str
+    sequential: str  # "module:Class"
+    ensemble: str
+    schedule_kinds: frozenset[str] = frozenset()
+    optional_kinds: frozenset[str] = frozenset()
+
+
+#: the audited pairs; schedule kinds are the draws that legitimately
+#: move from the (single) sequential stream to the shared schedule
+#: generator; optional kinds cover features ensembles deliberately
+#: do not implement (PNDCA's state-dependent "weighted" strategy).
+DRAW_PAIRS: tuple[DrawPair, ...] = (
+    DrawPair("RSM", "repro.dmc.rsm:RSM", "repro.ensemble.rsm:EnsembleRSM"),
+    DrawPair("NDCA", "repro.ca.ndca:NDCA", "repro.ensemble.ndca:EnsembleNDCA"),
+    DrawPair(
+        "PNDCA",
+        "repro.ca.pndca:PNDCA",
+        "repro.ensemble.pndca:EnsemblePNDCA",
+        schedule_kinds=frozenset({"integers", "permutation", "choice"}),
+        optional_kinds=frozenset({"choice"}),
+    ),
+)
+
+
+def _load(spec: str) -> type:
+    """Resolve a ``module:Class`` spec lazily (avoids import cycles)."""
+    module, _, name = spec.partition(":")
+    return getattr(importlib.import_module(module), name)
+
+
+def audit_events(
+    seq_events: list[DrawEvent],
+    ens_events: list[DrawEvent],
+    schedule_kinds: frozenset[str] = frozenset(),
+    optional_kinds: frozenset[str] = frozenset(),
+    subject: str = "pair",
+) -> LintReport:
+    """Compare draw tallies of a sequential/ensemble pair (event level)."""
+    report = LintReport()
+    seq_kinds = {e.kind for e in seq_events if e.stream == "replica"}
+    ens_replica = {e.kind for e in ens_events if e.stream == "replica"}
+    ens_schedule = {e.kind for e in ens_events if e.stream == "schedule"}
+
+    for e in ens_events:
+        if e.stream == "replica" and e.kind not in seq_kinds:
+            report.add(
+                Diagnostic(
+                    code="SR030",
+                    subject=subject,
+                    message=(
+                        f"{e.owner}.{e.method} (line {e.lineno}) draws "
+                        f"{e.kind!r} from a replica stream, but the sequential "
+                        f"kernel never draws it — replica streams desynchronise"
+                    ),
+                    data={"kind": e.kind, "method": f"{e.owner}.{e.method}"},
+                )
+            )
+        if e.stream == "replica" and e.kind in schedule_kinds:
+            report.add(
+                Diagnostic(
+                    code="SR031",
+                    subject=subject,
+                    message=(
+                        f"{e.owner}.{e.method} (line {e.lineno}) draws schedule "
+                        f"kind {e.kind!r} from a replica stream; shared-schedule "
+                        f"randomness must come from the schedule generator"
+                    ),
+                    data={"kind": e.kind, "method": f"{e.owner}.{e.method}"},
+                )
+            )
+    for kind in sorted(seq_kinds):
+        if kind in optional_kinds:
+            continue
+        covered = (
+            kind in ens_schedule if kind in schedule_kinds else kind in ens_replica
+        )
+        if not covered:
+            where = "schedule" if kind in schedule_kinds else "replica"
+            report.add(
+                Diagnostic(
+                    code="SR032",
+                    subject=subject,
+                    message=(
+                        f"sequential kernel draws {kind!r} but the ensemble "
+                        f"twin never draws it on its {where} stream"
+                    ),
+                    data={"kind": kind, "expected_stream": where},
+                )
+            )
+    if not report.diagnostics:
+        report.note(
+            f"rng audit {subject}: replica draw kinds {sorted(seq_kinds)} "
+            f"accounted for"
+        )
+    return report
+
+
+def audit_pair(
+    seq_cls: type,
+    ens_cls: type,
+    schedule_kinds: frozenset[str] = frozenset(),
+    optional_kinds: frozenset[str] = frozenset(),
+    subject: str | None = None,
+) -> LintReport:
+    """Compare the draw tallies of one sequential/ensemble class pair."""
+    return audit_events(
+        collect_draws(seq_cls),
+        collect_draws(ens_cls),
+        schedule_kinds=schedule_kinds,
+        optional_kinds=optional_kinds,
+        subject=subject or f"{seq_cls.__name__}/{ens_cls.__name__}",
+    )
+
+
+def audit_draws(pairs: tuple[DrawPair, ...] = DRAW_PAIRS) -> LintReport:
+    """Audit every registered sequential/ensemble pair."""
+    report = LintReport()
+    for pair in pairs:
+        report.extend(
+            audit_pair(
+                _load(pair.sequential),
+                _load(pair.ensemble),
+                schedule_kinds=pair.schedule_kinds,
+                optional_kinds=pair.optional_kinds,
+                subject=pair.name,
+            )
+        )
+    return report

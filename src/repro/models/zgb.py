@@ -23,8 +23,6 @@ O-poisoning below ``y1 ~ 0.39`` and CO-poisoning above ``y2 ~ 0.53``.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.lattice import Lattice
 from ..core.model import Model
 from ..core.reaction import ORIENTATIONS_2, ORIENTATIONS_4, ReactionType, oriented

@@ -19,9 +19,6 @@ evaluate and tabulate it.
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
 
 from .machine import MachineSpec, speedup
 

@@ -23,7 +23,6 @@ from ..core.kernels import run_trials_batch
 from ..core.lattice import Lattice
 from ..core.model import Model
 from ..core.rng import draw_types, make_rng
-from ..core.state import Configuration
 from ..partition.tilings import five_chunk_partition
 from .machine import DEFAULT_2003, MachineSpec, speedup_surface
 

@@ -19,14 +19,34 @@ paper's figures).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from ..core.lattice import Lattice, Offset
 from ..core.model import Model
 
-__all__ = ["Partition", "conflict_displacements"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lint.offsets import Conflict
+
+__all__ = ["Partition", "TilingSpec", "conflict_displacements"]
+
+
+@dataclass(frozen=True)
+class TilingSpec:
+    """Construction metadata of a modular tiling partition.
+
+    Chunk membership is the residue class ``(coeffs . x) mod m`` of the
+    site coordinates.  Partitions carrying this metadata (attached by
+    :func:`repro.partition.tilings.modular_tiling`) are eligible for
+    the *symbolic* race detector of :mod:`repro.lint.partition_lint`,
+    which decides conflict-freedom by residue arithmetic instead of
+    enumerating lattice sites.
+    """
+
+    m: int
+    coeffs: tuple[int, ...]
 
 
 def conflict_displacements(
@@ -97,6 +117,9 @@ class Partition:
             raise ValueError("empty chunks are not allowed")
         self.name = name or f"partition(m={len(self.chunks)})"
         self.conflict_free_for: set[str] = set()
+        #: modular-tiling construction metadata, when known (enables the
+        #: symbolic race detector of repro.lint)
+        self.tiling: TilingSpec | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,34 +155,104 @@ class Partition:
     # ------------------------------------------------------------------
     # the non-overlap rule
     # ------------------------------------------------------------------
-    def check_conflict_free(self, model: Model) -> tuple[bool, str]:
-        """Check the non-overlap rule for a model; returns (ok, reason).
+    def find_conflicts(self, model: Model, limit: int = 16) -> "list[Conflict]":
+        """All non-overlap-rule violations, as attributed counterexamples.
 
-        Vectorised: for every conflict displacement ``d`` of the
-        model's union neighborhood, no chunk may contain both ``s`` and
-        ``s + d``.  Cost is ``O(N * |D|)`` where ``|D|`` is the size of
-        the displacement difference set.
+        Returns at most ``limit`` :class:`~repro.lint.offsets.Conflict`
+        records, each naming the site pair, the chunk, the reaction pair
+        anchored there and the overlapping lattice cell; an empty list
+        means the partition is conflict-free for the model.
+
+        Partitions carrying :class:`TilingSpec` metadata delegate to the
+        *symbolic* detector (residue + borrow analysis, ``O(|D|)``
+        arithmetic); explicit partitions fall back to the vectorised
+        per-site scan (``O(N * |D|)``).  Either way each unordered site
+        pair is reported once.
         """
+        from ..lint.offsets import Conflict, conflict_witnesses
+
         lat = self.lattice
-        displacements = conflict_displacements(model.union_neighborhood())
+        if self.tiling is not None:
+            from ..lint.partition_lint import tiling_conflicts_on_shape
+
+            labels = self.chunk_of()
+            out = []
+            for c in tiling_conflicts_on_shape(
+                model, self.tiling.m, self.tiling.coeffs, lat.shape, limit=limit
+            ):
+                # the symbolic detector reports the residue class; remap
+                # to this partition's actual chunk index
+                chunk = int(labels[lat.flat_index(c.site_s)])
+                out.append(
+                    Conflict(
+                        site_s=c.site_s,
+                        site_t=c.site_t,
+                        chunk=chunk,
+                        displacement=c.displacement,
+                        reaction_a=c.reaction_a,
+                        offset_a=c.offset_a,
+                        reaction_b=c.reaction_b,
+                        offset_b=c.offset_b,
+                        cell=c.cell,
+                    )
+                )
+            return out
+
+        witnesses = conflict_witnesses(model)
         labels = self.chunk_of()
-        for d in displacements:
-            shifted = labels[lat.neighbor_map(d)]
-            clash = labels == shifted
-            if clash.any():
-                s = int(np.flatnonzero(clash)[0])
-                t = int(lat.neighbor_map(d)[s])
+        out = []
+        seen_pairs: set[frozenset[int]] = set()
+        for d in sorted(witnesses):
+            nbr = lat.neighbor_map(d)
+            clash = labels == labels[nbr]
+            for s in np.flatnonzero(clash):
+                s = int(s)
+                t = int(nbr[s])
                 if s == t:
                     # the displacement wraps onto the site itself
                     # (lattice smaller than twice the pattern) — not a
-                    # two-site conflict, skip
+                    # two-site conflict
+                    break
+                pair = frozenset((s, t))
+                if pair in seen_pairs:
                     continue
-                return (
-                    False,
-                    f"sites {lat.coords(s)} and {lat.coords(t)} share chunk "
-                    f"{int(labels[s])} but conflict via displacement {d}",
+                seen_pairs.add(pair)
+                w = witnesses[d]
+                site_s = lat.coords(s)
+                cell = lat.wrap(tuple(x + a for x, a in zip(site_s, w.offset_a)))
+                out.append(
+                    Conflict(
+                        site_s=site_s,
+                        site_t=lat.coords(t),
+                        chunk=int(labels[s]),
+                        displacement=d,
+                        reaction_a=w.reaction_a,
+                        offset_a=w.offset_a,
+                        reaction_b=w.reaction_b,
+                        offset_b=w.offset_b,
+                        cell=cell,
+                    )
                 )
-        return True, "ok"
+                if len(out) >= limit:
+                    return out
+        return out
+
+    def check_conflict_free(self, model: Model) -> tuple[bool, str]:
+        """Check the non-overlap rule for a model; returns (ok, reason).
+
+        On failure the reason lists *all* conflicts found up to a
+        bounded report (16 counterexamples), each naming the site pair,
+        the reaction pair and the overlapping cell — not just the first
+        offending displacement.  Tiling-backed partitions are decided
+        symbolically (no site enumeration); explicit partitions cost
+        ``O(N * |D|)`` where ``|D|`` is the displacement difference set.
+        """
+        conflicts = self.find_conflicts(model, limit=16)
+        if not conflicts:
+            return True, "ok"
+        lines = [c.describe() for c in conflicts]
+        suffix = "" if len(conflicts) < 16 else " (report truncated at 16)"
+        return False, f"{len(conflicts)} conflict(s){suffix}: " + "; ".join(lines)
 
     def validate_conflict_free(self, model: Model) -> "Partition":
         """Assert the non-overlap rule holds; marks the partition validated.

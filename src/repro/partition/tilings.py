@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.lattice import Lattice, Offset
 from ..core.model import Model
-from .partition import Partition, conflict_displacements
+from .partition import Partition, TilingSpec, conflict_displacements
 
 __all__ = [
     "modular_tiling",
@@ -60,9 +60,14 @@ def modular_tiling(
     for g, c in zip(grids, coeffs):
         lab += int(c) * g
     lab %= m
-    return Partition.from_labels(
+    p = Partition.from_labels(
         lattice, lab, name=name or f"modular(m={m}, coeffs={tuple(coeffs)})"
     )
+    # construction metadata: makes the partition eligible for the
+    # symbolic race detector (repro.lint), which proves/refutes the
+    # non-overlap rule by residue arithmetic instead of a site scan
+    p.tiling = TilingSpec(m, tuple(int(c) for c in coeffs))
+    return p
 
 
 def _tiling_is_conflict_free(
@@ -188,11 +193,9 @@ def block_partition(lattice: Lattice, block_shape: Sequence[int], shift: Sequenc
         *(np.arange(s, dtype=np.intp) for s in lattice.shape), indexing="ij"
     )
     lab = np.zeros(lattice.shape, dtype=np.intp)
-    mult = 1
     for g, b, s, sh in zip(grids, block_shape, lattice.shape, shift):
         blocks_along = s // b
         lab = lab * blocks_along + ((g - sh) % s) // b
-        mult *= blocks_along
     return Partition.from_labels(
         lattice, lab, name=f"blocks{block_shape}+shift{tuple(shift)}"
     )

@@ -20,7 +20,6 @@ sections 3-5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from .ca import LPNDCA, NDCA, PNDCA, SynchronousCA, TypePartitionedCA
 from .core.lattice import Lattice

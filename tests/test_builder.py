@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import Lattice, ModelBuilder
-from repro.core.builder import ModelBuilder as MB
 from repro.dmc import RSM
 from repro.models import ziff_model
 

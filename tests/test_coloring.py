@@ -1,7 +1,5 @@
 """Unit tests for repro.partition.coloring."""
 
-import networkx as nx
-import pytest
 
 from repro.core import Lattice, Model, ReactionType
 from repro.partition.coloring import (
@@ -75,3 +73,33 @@ class TestCliqueBound:
         lo, hi = chunk_count_bounds(Lattice((10, 10)), ziff)
         assert lo == 5
         assert hi >= lo
+
+
+class TestDegenerateLattices:
+    """Colouring-based partitions on 1xN strips and misaligned sides."""
+
+    def test_strip_conflict_graph_is_circulant(self, ziff):
+        # on a 1xN strip vertical offsets wrap onto the site itself;
+        # what remains are the horizontal distance-1 and -2 conflicts
+        g = conflict_graph(Lattice((1, 9)), ziff)
+        assert {d for _, d in g.degree()} == {4}
+
+    def test_tiny_strip_conflict_graph_complete(self, ziff):
+        g = conflict_graph(Lattice((1, 5)), ziff)
+        assert g.number_of_edges() == 5 * 4 // 2
+
+    def test_greedy_on_misaligned_strip_passes_linter(self, ziff):
+        from repro.lint import lint_partition
+
+        p = greedy_partition(Lattice((1, 7)), ziff)
+        report = lint_partition(p, ziff)
+        assert report.ok(strict=True), report.render()
+
+    def test_greedy_on_7x7_passes_linter(self, ziff):
+        from repro.lint import lint_partition
+
+        p = greedy_partition(Lattice((7, 7)), ziff)
+        assert lint_partition(p, ziff).ok(strict=True)
+        # the five-chunk tiling cannot exist on this shape (wrap), so
+        # greedy needs at least the clique bound of chunks
+        assert p.m >= clique_lower_bound(ziff)

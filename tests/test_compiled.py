@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Configuration, Lattice
+from repro.core import Configuration
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for conservation-law analysis."""
 
-import numpy as np
 import pytest
 
 from repro.core import Lattice, Model, ReactionType, conserved_quantities, is_conserved
@@ -9,7 +8,7 @@ from repro.core.conservation import (
     stoichiometry_matrix,
 )
 from repro.dmc import RSM, SnapshotObserver
-from repro.models import diffusion_model_2d, pt100_model, ziff_model
+from repro.models import diffusion_model_2d, pt100_model
 
 
 class TestStoichiometry:

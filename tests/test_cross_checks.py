@@ -12,7 +12,6 @@ import pytest
 
 from repro.core import Lattice
 from repro.dmc import RSM, VSSM
-from repro.models import ziff_model
 
 
 class TestEnabledRateConsistency:

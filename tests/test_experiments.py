@@ -1,7 +1,6 @@
 """Tests for the experiment drivers (cheap parameterisations)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     criteria,

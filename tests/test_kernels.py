@@ -231,7 +231,6 @@ class TestDerivedTableCaches:
         for side in (6, 10, 6, 10):
             lat = Lattice((side, side))
             comp = ziff.compile(lat)
-            n = lat.n_sites
             state = Configuration.empty(lat, ziff.species).array
             stacked = np.ascontiguousarray(state[None, :].copy())
             ref = state.copy()

@@ -10,7 +10,7 @@ from repro.analysis.meanfield import (
 )
 from repro.core import Lattice, Model, ReactionType
 from repro.dmc import RSM
-from repro.models import diffusion_model_2d, pt100_model, ziff_model
+from repro.models import diffusion_model_2d, pt100_model
 
 
 @pytest.fixture

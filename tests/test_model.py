@@ -1,6 +1,5 @@
 """Unit tests for repro.core.model."""
 
-import numpy as np
 import pytest
 
 from repro.core import Lattice, Model, ReactionType

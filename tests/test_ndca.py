@@ -70,7 +70,7 @@ class TestKinetics:
     def test_raster_sweep_advects_1d_diffusion(self):
         # the documented NDCA artefact: a raster sweep drags particles
         # along the sweep direction (hop chains within one step)
-        from repro.models import diffusion_model_1d, equally_spaced, single_file_model, tracer_displacements
+        from repro.models import equally_spaced, single_file_model, tracer_displacements
 
         model = single_file_model()
         lat = Lattice((64,))

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import Lattice
 from repro.partition.partition import Partition, conflict_displacements
 
 

@@ -18,7 +18,6 @@ def family(ziff, small_lattice):
 
 class TestFamily:
     def test_four_distinct_partitions(self, family, small_lattice):
-        labelings = [tuple(p.chunk_of().tolist()) for p in family]
         # pairwise different partitions (not mere relabelings): compare
         # the same-chunk relation on a probe pair of sites
         def same_chunk(p, a, b):

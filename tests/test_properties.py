@@ -8,11 +8,10 @@ These are exactly the properties worth fuzzing.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Configuration, Lattice
+from repro.core import Lattice
 from repro.core.kernels import (
     _occurrence_index,
     run_trials_batch,

@@ -32,6 +32,7 @@ def random_models(draw):
     b = ModelBuilder("random", species=("*", "A", "B"))
     n_procs = draw(st.integers(1, 5))
     added = 0
+    added = 0
     for i in range(n_procs):
         kind = draw(st.sampled_from(
             ["ads", "des", "diss", "pair", "hop", "flip"]

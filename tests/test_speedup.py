@@ -1,8 +1,6 @@
 """Tests for the speedup calibration drivers."""
 
-import dataclasses
 
-import pytest
 
 from repro.core import Lattice
 from repro.parallel.machine import DEFAULT_2003

@@ -1,6 +1,5 @@
 """Unit tests for repro.partition.tilings."""
 
-import numpy as np
 import pytest
 
 from repro.core import Lattice
@@ -137,3 +136,61 @@ class TestBlocks:
         p = block_partition(Lattice((10, 10)), (5, 5))
         ok, _ = p.check_conflict_free(ziff)
         assert not ok
+
+
+class TestDegenerateLattices:
+    """Linter behaviour on 1xN strips and sides not divisible by m."""
+
+    def test_strip_aligned_is_conflict_free(self, ziff):
+        from repro.lint import lint_partition
+
+        p = five_chunk_partition(Lattice((1, 10)))
+        assert p.find_conflicts(ziff) == []
+        assert lint_partition(p, ziff).ok(strict=True)
+
+    def test_strip_misaligned_flags_only_wrap_conflicts(self, ziff):
+        """1x7 strip: the tiling is sound, the wrap is not — SR002 only."""
+        from repro.lint import lint_partition
+
+        p = five_chunk_partition(Lattice((1, 7)))
+        report = lint_partition(p, ziff)
+        assert not report.ok()
+        assert {d.code for d in report} == {"SR002"}
+
+    def test_strip_witnesses_match_enumeration(self, ziff):
+        """Symbolic witnesses are real conflicts of the explicit scan."""
+        lat = Lattice((1, 7))
+        p = five_chunk_partition(lat)
+        symbolic = {
+            frozenset((c.site_s, c.site_t)) for c in p.find_conflicts(ziff)
+        }
+        p.tiling = None  # force the enumerative path
+        enumerated = {
+            frozenset((c.site_s, c.site_t))
+            for c in p.find_conflicts(ziff, limit=100)
+        }
+        assert symbolic and symbolic <= enumerated
+
+    def test_side_not_divisible_by_five(self, ziff):
+        p = five_chunk_partition(Lattice((10, 7)))
+        ok, reason = p.check_conflict_free(ziff)
+        assert not ok
+        # the multi-conflict report names reactions and the shared cell
+        assert "share chunk" in reason and "touch cell" in reason
+
+    def test_tiny_strip_degenerates_to_singletons(self, ziff):
+        """On 1x5 every residue is its own chunk — trivially fine."""
+        from repro.lint import lint_partition
+
+        p = five_chunk_partition(Lattice((1, 5)))
+        assert p.m == 5 and all(s == 1 for s in p.sizes)
+        assert lint_partition(p, ziff).ok(strict=True)
+
+    def test_both_sides_misaligned(self, ziff):
+        from repro.lint import lint_partition
+
+        p = five_chunk_partition(Lattice((7, 7)))
+        report = lint_partition(p, ziff)
+        assert {d.code for d in report} == {"SR002"}
+        d0 = report.diagnostics[0].data
+        assert d0["site_s"] != d0["site_t"]

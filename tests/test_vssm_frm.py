@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Configuration, Lattice, Model, ReactionType
+from repro.core import Lattice, Model, ReactionType
 from repro.dmc import FRM, RSM, VSSM
 
 
