@@ -9,10 +9,12 @@ Commands
     (e.g. ``python -m repro run fig4``).
 ``algorithms``
     Print the algorithm taxonomy table.
-``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--json] [--strict]``
+``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--kernels] [--json] [--strict]``
     Static verification: model sanity, symbolic partition race proofs,
-    RNG draw audit (see :mod:`repro.lint`).  Exit code 1 on findings —
-    the CI gate.
+    RNG draw audit, and — with ``--kernels`` — the kernel-level
+    scatter-aliasing/effect-contract pass (see :mod:`repro.lint`;
+    ``--list-codes`` prints the SR001..SR051 registry).  Exit code 1
+    on findings — the CI gate.
 ``info``
     Package/version/paper information.
 """

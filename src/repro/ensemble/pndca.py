@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.kernels import run_trials_stacked
 from ..core.rng import make_rng, types_from_uniforms
+from ..lint.contracts import kernel
 from ..partition.partition import Partition
 from .base import EnsembleBase
 
@@ -99,6 +100,7 @@ class EnsemblePNDCA(EnsembleBase):
                 f"{len(partitions)} partitions/{partition_schedule}]"
             )
 
+    @kernel(reads=("self",), writes=("self.partition",))
     def _choose_partition(self) -> Partition:
         """Shared 'choose a partition P' step (one choice for all replicas)."""
         if len(self.partitions) == 1:
@@ -113,6 +115,12 @@ class EnsemblePNDCA(EnsembleBase):
         return p
 
     # ------------------------------------------------------------------
+    @kernel(
+        reads=("self", "chunk", "active"),
+        caches=("self._stream_cache",),
+        disjoint=("chunk", "active"),
+        shapes={"chunk": ("C",), "active": ("A",)},
+    )
     def _chunk_streams(
         self, chunk: np.ndarray, active: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -137,6 +145,31 @@ class EnsemblePNDCA(EnsembleBase):
             self._stream_cache[key] = cached
         return cached
 
+    @kernel(
+        reads=("self", "chunk", "active"),
+        writes=(
+            "self.states",
+            "self.executed_per_type",
+            "self.n_trials",
+            "self.times",
+        ),
+        caches=("self.compiled", "self._stream_cache"),
+        disjoint=("chunk", "active"),
+        shapes={
+            "chunk": ("C",),
+            "active": ("A",),
+            "self.states": ("R", "N"),
+            "self.times": ("R",),
+            "self.n_trials": ("R",),
+            "self.executed_per_type": ("R", "T"),
+        },
+        dtypes={
+            "self.states": "uint8",
+            "self.times": "float64",
+            "self.n_trials": "int64",
+            "self.executed_per_type": "int64",
+        },
+    )
     def _visit_chunk(self, chunk: np.ndarray, active: np.ndarray) -> None:
         """One trial per chunk site per active replica, in one batch."""
         comp = self.compiled
@@ -158,6 +191,20 @@ class EnsemblePNDCA(EnsembleBase):
             self.times[r] += self.time_increment(r, c)
             self._sample_crossed(r)
 
+    @kernel(
+        reads=("self", "until", "active"),
+        writes=(
+            "self.states",
+            "self.executed_per_type",
+            "self.n_trials",
+            "self.times",
+            "self.partition",
+            "self._step_no",
+        ),
+        caches=("self.compiled", "self._stream_cache"),
+        disjoint=("active",),
+        shapes={"active": ("A",)},
+    )
     def _step_block(self, until: float, active: np.ndarray) -> int:
         p = self._choose_partition()
         self._step_no += 1

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.kernels import run_trials_interleaved
 from ..core.rng import draw_sites, draw_types
+from ..lint.contracts import kernel
 from .base import EnsembleBase
 
 __all__ = ["EnsembleRSM"]
@@ -41,6 +42,30 @@ class EnsembleRSM(EnsembleBase):
         self.block = int(block)
         self.window = int(window)
 
+    @kernel(
+        reads=("self", "until", "active"),
+        writes=(
+            "self.states",
+            "self.executed_per_type",
+            "self.times",
+            "self.n_trials",
+        ),
+        caches=("self.compiled",),
+        disjoint=("active",),
+        shapes={
+            "active": ("A",),
+            "self.states": ("R", "N"),
+            "self.times": ("R",),
+            "self.n_trials": ("R",),
+            "self.executed_per_type": ("R", "T"),
+        },
+        dtypes={
+            "self.states": "uint8",
+            "self.times": "float64",
+            "self.n_trials": "int64",
+            "self.executed_per_type": "int64",
+        },
+    )
     def _step_block(self, until: float, active: np.ndarray) -> int:
         comp = self.compiled
         n = self.block

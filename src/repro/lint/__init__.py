@@ -6,8 +6,10 @@ proves (or refutes, with a minimal counterexample) structural
 properties of the reaction patterns, the partitions and the kernels —
 once, symbolically, before a simulation ever runs.
 
-Three analysis passes, each emitting :class:`Diagnostic` records with
-stable ``SR0xx`` error codes (see :data:`repro.lint.diagnostics.CODES`):
+Analysis passes, each emitting :class:`Diagnostic` records with stable
+``SR0xx`` error codes (authoritative table:
+:data:`repro.lint.diagnostics.CODES`; ``python -m repro lint
+--list-codes`` prints it):
 
 * :mod:`repro.lint.partition_lint` — the **symbolic partition race
   detector**.  Reaction patterns are lifted to offset algebra (pattern
@@ -25,17 +27,61 @@ stable ``SR0xx`` error codes (see :data:`repro.lint.diagnostics.CODES`):
   in :mod:`repro.core.kernels` clients, tallying random draws per
   trial stream, guarding the bit-identical-replica guarantee of the
   ensemble engine.
+* :mod:`repro.lint.kernel_lint` — the **scatter/gather aliasing
+  prover** (with :mod:`repro.lint.ir` and
+  :mod:`repro.lint.contracts`): an abstract interpreter over the
+  vectorized NumPy kernels that proves scatter-write index sets
+  duplicate-free, infers symbolic shapes/dtypes, and checks each
+  kernel's ``@kernel(reads=..., writes=..., pure=...)`` effect
+  contract — including sequential/ensemble twin-contract agreement.
+  ``python -m repro lint --kernels``.
+
+The complete code registry (one line each; severities and full
+descriptions in :data:`repro.lint.diagnostics.CODES`):
+
+========  ============================================================
+``SR001``  tiling residue conflict (fails on every aligned size)
+``SR002``  tiling conflict under one shape's periodic wrap
+``SR003``  partition places conflicting sites in one chunk
+``SR004``  partition uses more chunks than the clique bound
+``SR005``  partition not conflict-free for a single type
+``SR010``  per-site probability mass exceeds 1 at the time step
+``SR011``  reaction can never become enabled
+``SR012``  species neither initial nor producible
+``SR013``  null reaction (rewrites sites to themselves)
+``SR014``  declared conservation law violated by stoichiometry
+``SR015``  non-finite rate constant
+``SR016``  duplicate reaction pattern
+``SR030``  ensemble replica stream draws an extra kind
+``SR031``  schedule randomness drawn from a replica stream
+``SR032``  sequential draw kind missing from the ensemble twin
+``SR040``  augmented fancy scatter with possibly-repeated index
+``SR041``  plain fancy scatter aliasing array values
+``SR042``  provable broadcast shape mismatch
+``SR043``  implicit dtype downcast on store
+``SR050``  mutation not declared by the @kernel contract
+``SR051``  sequential/ensemble twin contract drift
+========  ============================================================
 
 Entry points: ``python -m repro lint`` (CI gate, see
-:mod:`repro.lint.cli`) and the :func:`preflight_model` /
-:func:`preflight_partition` gates wired into the experiment drivers
-and the PNDCA construction paths.
+:mod:`repro.lint.cli`; ``--kernels`` for the kernel pass alone) and
+the :func:`preflight_model` / :func:`preflight_partition` gates wired
+into the experiment drivers and the PNDCA construction paths.
 """
 
 from __future__ import annotations
 
-from .diagnostics import CODES, Diagnostic, LintReport
+from .contracts import KernelContract, contract_of, kernel, registered_kernels
+from .diagnostics import CODES, Diagnostic, LintReport, code_table
 from .engine import LintError, preflight_model, preflight_partition, run_lint
+from .ir import KernelIR, build_ir
+from .kernel_lint import (
+    KERNEL_MODULES,
+    analyze_kernel,
+    check_twins,
+    lint_kernels,
+    runtime_write_collisions,
+)
 from .model_lint import lint_model
 from .offsets import Conflict, conflict_witnesses
 from .partition_lint import (
@@ -54,14 +100,26 @@ __all__ = [
     "LintError",
     "Conflict",
     "TilingProof",
+    "KernelContract",
+    "KernelIR",
+    "KERNEL_MODULES",
+    "analyze_kernel",
+    "audit_draws",
+    "build_ir",
+    "check_tiling_on_shape",
+    "check_twins",
+    "code_table",
     "conflict_witnesses",
+    "contract_of",
+    "kernel",
+    "lint_kernels",
     "lint_model",
     "lint_partition",
-    "prove_tiling",
-    "check_tiling_on_shape",
-    "tiling_conflicts_on_shape",
-    "audit_draws",
     "preflight_model",
     "preflight_partition",
+    "prove_tiling",
+    "registered_kernels",
     "run_lint",
+    "runtime_write_collisions",
+    "tiling_conflicts_on_shape",
 ]

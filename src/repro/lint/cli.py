@@ -11,8 +11,15 @@ Targeted runs::
     python -m repro lint --model ziff                  # one model
     python -m repro lint --model ziff --tiling 5:1,2   # explicit tiling
     python -m repro lint --model ziff --tiling 5:1,2 --shape 7x7
+    python -m repro lint --kernels --strict            # kernel pass only
     python -m repro lint --json                        # machine-readable
-    python -m repro lint --codes                       # error-code table
+    python -m repro lint --list-codes                  # error-code table
+
+``--kernels`` runs the kernel-level pass alone (scatter aliasing
+proofs SR040/SR041, shape/dtype dataflow SR042/SR043, effect
+contracts SR050/SR051) over every ``@kernel``-decorated function in
+:data:`repro.lint.kernel_lint.KERNEL_MODULES` — no models are built,
+so it is fast enough for a pre-commit hook.
 
 ``--shape`` switches the proof from "all aligned lattice sizes" to the
 exact borrow analysis for one finite periodic shape — use it to check
@@ -145,7 +152,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="skip the sequential-vs-ensemble RNG draw audit",
     )
     parser.add_argument(
-        "--codes", action="store_true", help="print the diagnostic code table"
+        "--kernels",
+        action="store_true",
+        help="run only the kernel aliasing/effect-contract pass "
+        "(SR040-SR043, SR050/SR051)",
+    )
+    parser.add_argument(
+        "--codes",
+        "--list-codes",
+        action="store_true",
+        dest="codes",
+        help="print the diagnostic code table (SR001..SR051)",
     )
 
 
@@ -164,6 +181,16 @@ def run(args: argparse.Namespace) -> int:
         for code, sev, slug, desc in code_table():
             print(f"{code}  {sev:<7s} {slug:<30s} {desc}")
         return 0
+
+    if args.kernels:
+        from .kernel_lint import lint_kernels
+
+        report = lint_kernels()
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.render())
+        return 0 if report.ok(strict=args.strict) else 1
 
     names = [args.model] if args.model else sorted(MODEL_REGISTRY)
     report = LintReport()

@@ -1,0 +1,165 @@
+"""Effect contracts for compute kernels: the ``@kernel`` decorator.
+
+Every vectorized kernel in this package mutates state through NumPy
+gathers and scatters whose correctness rests on *preconditions* (trial
+sites pairwise conflict-free, neighbour maps injective, replica rows
+disjoint) that the code itself cannot express.  The :func:`kernel`
+decorator attaches a machine-readable :class:`KernelContract` to each
+kernel declaring
+
+* its **effects** — which parameters (or ``self.*`` attributes) it
+  reads, which it writes, whether it is pure, and which it merely
+  memoises caches on (``caches``, excluded from twin comparison);
+* its **index preconditions** — parameters promised pairwise-distinct
+  by the caller (``disjoint``) and arrays that are injective index
+  maps (``injective``, e.g. the periodic neighbour maps, which are
+  permutations of the lattice);
+* its **dataflow declarations** — symbolic shapes (``shapes``, e.g.
+  ``{"states": ("R", "N"), "tmap": ("C", "T*N")}``) and dtypes that
+  seed the shape/dtype inference of :mod:`repro.lint.kernel_lint`;
+* accepted **justifications** (``justify``) — a map from diagnostic
+  code to a one-sentence proof for scatters whose safety follows from
+  an argument outside the analyzer's fragment (e.g. the partition
+  non-overlap theorem), downgrading that code to a recorded note;
+* its **twin** — the name of the sequential counterpart kernel, with a
+  parameter ``rename`` map, enabling the SR051 contract-drift check.
+
+The decorator is metadata-only: it returns the function unchanged
+(zero runtime overhead) and registers it in :data:`KERNEL_REGISTRY`
+for :func:`repro.lint.kernel_lint.lint_kernels`.
+
+Declared names may be dotted (``"compiled"``, ``"self.states"``,
+``"ct.maps"``): a plain name refers to a parameter, ``self.x`` to an
+attribute of the receiving object, and ``p.attr`` seeds facts about an
+attribute of parameter ``p`` (e.g. ``injective=("ct.maps",)`` declares
+the per-change neighbour maps injective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, TypeVar
+
+__all__ = [
+    "KernelContract",
+    "KERNEL_REGISTRY",
+    "kernel",
+    "contract_of",
+    "registered_kernels",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: ``"module.qualname" -> function`` for every decorated kernel.
+KERNEL_REGISTRY: dict[str, Callable[..., Any]] = {}
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """Declared effects, preconditions and dataflow facts of one kernel."""
+
+    name: str
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    pure: bool = False
+    #: benign memoisation targets (allowed mutations, invisible to twins)
+    caches: tuple[str, ...] = ()
+    #: index parameters the caller promises pairwise-distinct
+    disjoint: tuple[str, ...] = ()
+    #: injective index-map arrays (gathers through them preserve distinctness)
+    injective: tuple[str, ...] = ()
+    #: symbolic shapes, e.g. ``{"states": ("R", "N")}``
+    shapes: Mapping[str, tuple[Any, ...]] = field(default_factory=dict)
+    #: dtype names, e.g. ``{"states": "uint8"}``
+    dtypes: Mapping[str, str] = field(default_factory=dict)
+    #: accepted per-code justifications, e.g. ``{"SR041": "footprints disjoint"}``
+    justify: Mapping[str, str] = field(default_factory=dict)
+    #: marker for helpers with analyzer-known return semantics
+    #: (currently only ``"occurrence_index"``)
+    returns: str | None = None
+    #: name of the sequential twin kernel (enables the SR051 drift check)
+    twin: str | None = None
+    #: parameter rename map onto the twin, e.g. ``{"states": "state"}``
+    rename: Mapping[str, str] = field(default_factory=dict)
+
+    def allowed_writes(self) -> frozenset[str]:
+        """Roots this kernel may mutate: declared writes plus caches."""
+        return frozenset(self.writes) | frozenset(self.caches)
+
+
+def kernel(
+    *,
+    reads: Iterable[str] = (),
+    writes: Iterable[str] = (),
+    pure: bool = False,
+    caches: Iterable[str] = (),
+    disjoint: Iterable[str] = (),
+    injective: Iterable[str] = (),
+    shapes: Mapping[str, tuple[Any, ...]] | None = None,
+    dtypes: Mapping[str, str] | None = None,
+    justify: Mapping[str, str] | None = None,
+    returns: str | None = None,
+    twin: str | None = None,
+    rename: Mapping[str, str] | None = None,
+) -> Callable[[F], F]:
+    """Attach a :class:`KernelContract` to a kernel function (or method).
+
+    Raises ``ValueError`` on inconsistent declarations (``pure=True``
+    together with ``writes``) so a bad contract fails at import time,
+    not at lint time.
+    """
+    writes_t = tuple(writes)
+    if pure and writes_t:
+        raise ValueError(
+            f"a pure kernel cannot declare writes; got writes={writes_t}"
+        )
+
+    def wrap(fn: F) -> F:
+        contract = KernelContract(
+            name=fn.__name__,
+            reads=tuple(reads),
+            writes=writes_t,
+            pure=pure,
+            caches=tuple(caches),
+            disjoint=tuple(disjoint),
+            injective=tuple(injective),
+            shapes=dict(shapes or {}),
+            dtypes=dict(dtypes or {}),
+            justify=dict(justify or {}),
+            returns=returns,
+            twin=twin,
+            rename=dict(rename or {}),
+        )
+        fn.__kernel_contract__ = contract  # type: ignore[attr-defined]
+        KERNEL_REGISTRY[f"{fn.__module__}.{fn.__qualname__}"] = fn
+        return fn
+
+    return wrap
+
+
+def contract_of(fn: Callable[..., Any]) -> KernelContract | None:
+    """The contract attached to a function, or None."""
+    return getattr(fn, "__kernel_contract__", None)
+
+
+def registered_kernels(
+    modules: Iterable[str] | None = None,
+) -> list[Callable[..., Any]]:
+    """Decorated kernels, optionally restricted to a module list.
+
+    Modules named in ``modules`` are imported first so their decorators
+    have run; with ``modules=None`` every kernel registered so far is
+    returned (test kernels included).
+    """
+    if modules is not None:
+        import importlib
+
+        for mod in modules:
+            importlib.import_module(mod)
+        wanted = set(modules)
+        return [
+            fn
+            for key, fn in sorted(KERNEL_REGISTRY.items())
+            if fn.__module__ in wanted
+        ]
+    return [fn for _, fn in sorted(KERNEL_REGISTRY.items())]

@@ -12,7 +12,13 @@ Code ranges
 ``SR01x``
     model sanity (probability mass, reachability, conservation),
 ``SR03x``
-    RNG draw accounting (sequential vs. ensemble kernels).
+    RNG draw accounting (sequential vs. ensemble kernels),
+``SR04x``
+    kernel dataflow: scatter aliasing proofs (SR040/SR041) and
+    shape/dtype inference (SR042/SR043),
+``SR05x``
+    kernel effect contracts: undeclared mutation (SR050) and
+    sequential/ensemble twin drift (SR051).
 """
 
 from __future__ import annotations
@@ -103,6 +109,42 @@ CODES: dict[str, tuple[str, str, str]] = {
         "warning",
         "missing-replica-draw",
         "sequential draw kind missing from the ensemble counterpart",
+    ),
+    "SR040": (
+        "error",
+        "scatter-lost-update",
+        "augmented fancy-index scatter whose index set may repeat "
+        "(numpy drops all but one update; use np.add.at or dedup)",
+    ),
+    "SR041": (
+        "error",
+        "scatter-write-alias",
+        "fancy-index scatter writes array values through possibly "
+        "repeated indices (surviving value is an ordering accident)",
+    ),
+    "SR042": (
+        "error",
+        "shape-broadcast-mismatch",
+        "kernel operands have provably incompatible shapes under "
+        "numpy broadcasting",
+    ),
+    "SR043": (
+        "warning",
+        "dtype-downcast",
+        "implicit store narrows the value dtype (information loss "
+        "without an explicit astype)",
+    ),
+    "SR050": (
+        "error",
+        "undeclared-mutation",
+        "kernel mutates an input its @kernel contract does not "
+        "declare in writes=/caches= (or mutates despite pure=True)",
+    ),
+    "SR051": (
+        "error",
+        "twin-contract-drift",
+        "sequential/ensemble kernel twins disagree on declared "
+        "effects after parameter renaming",
     ),
 }
 

@@ -85,14 +85,17 @@ def run_lint(
     initial_species: Sequence[str] | None = None,
     conserved: Sequence[Mapping[str, float]] | None = None,
     rng_audit: bool = False,
+    kernel_audit: bool = False,
     limit: int = 8,
 ) -> LintReport:
     """Full static report for one model and its parallel decomposition.
 
     Runs the model sanity pass, then — depending on what is supplied —
     the symbolic tiling proof (``tiling=(m, coeffs)``, optionally
-    specialised to a ``shape``), the partition lint, and the RNG draw
-    audit.  Never raises on findings; inspect ``report.ok()``.
+    specialised to a ``shape``), the partition lint, the RNG draw
+    audit, and the kernel aliasing/effect-contract pass
+    (``kernel_audit``, model-independent like the RNG audit).  Never
+    raises on findings; inspect ``report.ok()``.
     """
     from .partition_lint import check_tiling_on_shape
     from .rng_lint import audit_draws
@@ -126,4 +129,8 @@ def run_lint(
         report.extend(lint_partition(partition, model, limit=limit, bounds=True))
     if rng_audit:
         report.extend(audit_draws())
+    if kernel_audit:
+        from .kernel_lint import lint_kernels
+
+        report.extend(lint_kernels())
     return report

@@ -1,0 +1,1137 @@
+"""AST → dataflow IR for vectorized NumPy kernels.
+
+:func:`build_ir` parses a kernel's source and abstractly interprets it
+over a small value lattice, producing a :class:`KernelIR`: the list of
+**scatter** sites (fancy-index stores, with a verdict on whether the
+index set is provably duplicate-free), every **mutation** with the
+dotted *roots* it may reach (for the SR050 undeclared-effect check),
+and the **shape**/**dtype** facts needed for the SR042/SR043 checks.
+
+The interpreter is deliberately *lenient where it is blind* and
+*precise where the contract speaks*:
+
+* A parameter is only treated as a NumPy array when the attached
+  :class:`~repro.lint.contracts.KernelContract` declares a shape,
+  dtype, ``disjoint`` or ``injective`` fact for it (or a recognised
+  NumPy constructor produces it).  An index expression of unknown kind
+  is classified as *basic* indexing — so the scalar ``memoryview``
+  hot loop of :func:`repro.core.kernels.run_trials_sequential`
+  produces no false scatter diagnostics.
+* Uniqueness ("the elements of this array are pairwise distinct") is
+  a provenance property: ``np.arange`` / ``np.unique`` /
+  ``np.flatnonzero`` / ``np.argsort`` results are unique, a boolean
+  mask selects a positional subset (preserving uniqueness of the
+  base), gathering an *injective* map at unique indices stays unique,
+  adding a scalar preserves distinctness, and an
+  ``_occurrence_index``-style round mask (``occ == r``) selects at
+  most one occurrence of every value — the dedup idiom of
+  :func:`repro.core.kernels.run_trials_batch_with_duplicates`.
+* Aliasing is tracked through views only (basic slices, ``reshape``,
+  ``memoryview``, ``asarray``); fancy indexing, ``copy()`` and
+  arithmetic produce fresh values.  A mutation whose alias set is
+  empty touches only locals and is ignored.
+
+Justification pragmas — a trailing ``# lint: justified(SR0xx): why``
+comment on (or immediately above) the offending line — are collected
+into :attr:`KernelIR.pragmas` for :mod:`repro.lint.kernel_lint` to
+honour, alongside contract-level ``justify`` entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .contracts import KernelContract, contract_of
+
+__all__ = [
+    "Value",
+    "Scatter",
+    "Mutation",
+    "ShapeIssue",
+    "CastIssue",
+    "KernelIR",
+    "build_ir",
+]
+
+Dim = Any  # int | str | None — symbolic dimension
+
+
+# ----------------------------------------------------------------------
+# the value lattice
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Value:
+    """Abstract value: kind, symbolic shape/dtype, index provenance.
+
+    ``unique`` asserts the elements are pairwise distinct; ``injective``
+    that the array (or each array in a container) is an injective index
+    map; ``occ_index`` marks an ``_occurrence_index`` result and
+    ``round_mask`` a boolean mask derived from ``occ == r`` (indexing
+    with it yields a duplicate-free subset of any array).  ``aliases``
+    holds the dotted contract roots this value may share memory with.
+    """
+
+    kind: str = "unknown"  # array | scalar | tuple | shape | dtype | range | unknown
+    shape: tuple | None = None
+    dtype: str | None = None
+    unique: bool = False
+    injective: bool = False
+    occ_index: bool = False
+    round_mask: bool = False
+    aliases: frozenset = frozenset()
+    elts: tuple = ()
+
+
+UNKNOWN = Value()
+SCALAR = Value(kind="scalar")
+
+
+def _scalar(dtype: str | None = None) -> Value:
+    return Value(kind="scalar", dtype=dtype)
+
+
+def _join(a: Value, b: Value) -> Value:
+    """Least upper bound of two branch values (conservative merge)."""
+    if a == b:
+        return a
+    return Value(
+        kind=a.kind if a.kind == b.kind else "unknown",
+        shape=a.shape if a.shape == b.shape else None,
+        dtype=a.dtype if a.dtype == b.dtype else None,
+        unique=a.unique and b.unique,
+        injective=a.injective and b.injective,
+        occ_index=a.occ_index and b.occ_index,
+        round_mask=a.round_mask and b.round_mask,
+        aliases=a.aliases | b.aliases,
+    )
+
+
+# ----------------------------------------------------------------------
+# dtype ladder (SR043)
+# ----------------------------------------------------------------------
+
+#: name -> (category, bits); categories: bool < uint < int < float
+_DTYPE_RANK: dict[str, tuple[int, int]] = {
+    "bool": (0, 1),
+    "uint8": (1, 8), "uint16": (1, 16), "uint32": (1, 32), "uint64": (1, 64),
+    "int8": (2, 8), "int16": (2, 16), "int32": (2, 32), "int64": (2, 64),
+    "intp": (2, 64), "int_": (2, 64),
+    "float16": (3, 16), "float32": (3, 32), "float64": (3, 64),
+}
+
+
+def _is_downcast(target: str | None, value: str | None) -> bool:
+    """Would storing ``value``-typed data into ``target`` lose information?"""
+    if target is None or value is None:
+        return False
+    t, v = _DTYPE_RANK.get(target), _DTYPE_RANK.get(value)
+    if t is None or v is None:
+        return False
+    return v[0] > t[0] or (v[0] == t[0] and v[1] > t[1])
+
+
+def _promote(a: str | None, b: str | None) -> str | None:
+    """NumPy-style result dtype of a binary op (None if either unknown)."""
+    if a is None or b is None:
+        return None
+    ra, rb = _DTYPE_RANK.get(a), _DTYPE_RANK.get(b)
+    if ra is None or rb is None:
+        return None
+    return a if ra >= rb else b
+
+
+def _broadcast(
+    left: tuple | None, right: tuple | None
+) -> tuple[tuple | None, tuple[Dim, Dim] | None]:
+    """Broadcast two symbolic shapes; returns (result, conflicting pair).
+
+    Only *provable* mismatches are reported: both dims concrete ints,
+    different, and neither 1.  Symbolic or unknown dims never conflict.
+    """
+    if left is None or right is None:
+        return None, None
+    out: list[Dim] = []
+    la, lb = list(left), list(right)
+    while len(la) < len(lb):
+        la.insert(0, 1)
+    while len(lb) < len(la):
+        lb.insert(0, 1)
+    for da, db in zip(la, lb):
+        if da == 1:
+            out.append(db)
+        elif db == 1 or da == db:
+            out.append(da)
+        elif isinstance(da, int) and isinstance(db, int):
+            return None, (da, db)
+        else:
+            out.append(None)
+    return tuple(out), None
+
+
+# ----------------------------------------------------------------------
+# recorded events
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scatter:
+    """A fancy-index store ``target[idx] (+)= value``."""
+
+    lineno: int
+    target: str
+    roots: frozenset
+    index_unique: bool
+    augmented: bool
+    value_scalar: bool
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Any in-place effect on a value with the given dotted roots."""
+
+    lineno: int
+    target: str
+    roots: frozenset
+    via: str  # subscript | attribute | augassign | call | method
+
+
+@dataclass(frozen=True)
+class ShapeIssue:
+    """A provable broadcasting mismatch (SR042)."""
+
+    lineno: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class CastIssue:
+    """A provable implicit dtype downcast (SR043)."""
+
+    lineno: int
+    target: str
+    from_dtype: str
+    to_dtype: str
+
+
+@dataclass
+class KernelIR:
+    """Everything :mod:`repro.lint.kernel_lint` needs about one kernel."""
+
+    name: str
+    qualname: str
+    module: str
+    contract: KernelContract
+    params: tuple[str, ...]
+    scatters: list[Scatter] = field(default_factory=list)
+    mutations: list[Mutation] = field(default_factory=list)
+    shape_issues: list[ShapeIssue] = field(default_factory=list)
+    cast_issues: list[CastIssue] = field(default_factory=list)
+    #: lineno -> {code: reason} from ``# lint: justified(SR0xx): ...``
+    pragmas: dict[int, dict[str, str]] = field(default_factory=dict)
+
+    def pragma_for(self, lineno: int, code: str) -> str | None:
+        """Justification reason for a code at/above a line, if any."""
+        for ln in (lineno, lineno - 1):
+            reason = self.pragmas.get(ln, {}).get(code)
+            if reason is not None:
+                return reason
+        return None
+
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*justified\((SR\d{3})\)\s*:\s*(.+?)\s*$")
+
+#: numpy dtype attribute names the interpreter recognises
+_DTYPE_NAMES = set(_DTYPE_RANK) | {"bool_", "float_", "double"}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "fill",
+    "sort", "partition", "shuffle", "update", "add", "discard",
+    "setdefault", "popitem",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` chain of Names/Attributes as a string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _normalize_dtype(name: str) -> str:
+    return {"bool_": "bool", "float_": "float64", "double": "float64"}.get(name, name)
+
+
+# ----------------------------------------------------------------------
+# the abstract interpreter
+# ----------------------------------------------------------------------
+
+class _Interp:
+    """One pass over a kernel body; records events into a KernelIR."""
+
+    def __init__(self, fn: Callable[..., Any], ir: KernelIR):
+        self.fn = fn
+        self.ir = ir
+        self.contract = ir.contract
+        self.globals = getattr(fn, "__globals__", {})
+        import numpy as _np
+
+        self.np_aliases = {
+            name
+            for name, val in self.globals.items()
+            if val is _np
+        } | {"np", "numpy"}
+        self.env: dict[str, Value] = {}
+        for p in ir.params:
+            self.env[p] = self._seed(p)
+
+    # -- contract fact seeding -----------------------------------------
+    def _facts(self, path: str) -> Value | None:
+        """Declared facts for a dotted path, as an array value."""
+        c = self.contract
+        shape = c.shapes.get(path)
+        dtype = c.dtypes.get(path)
+        unique = path in c.disjoint
+        injective = path in c.injective
+        if shape is None and dtype is None and not unique and not injective:
+            return None
+        return Value(
+            kind="array",
+            shape=tuple(shape) if shape is not None else None,
+            dtype=dtype,
+            unique=unique,
+            injective=injective,
+            aliases=frozenset({path}),
+        )
+
+    def _seed(self, param: str) -> Value:
+        v = self._facts(param)
+        if v is not None:
+            return v
+        return Value(aliases=frozenset({param}))
+
+    # -- statement dispatch --------------------------------------------
+    def run(self, body: list[ast.stmt]) -> None:
+        self.exec_block(body, self.env)
+
+    def exec_block(self, stmts: list[ast.stmt], env: dict[str, Value]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, node: ast.stmt, env: dict[str, Value]) -> None:
+        if isinstance(node, ast.Assign):
+            value = self.eval(node.value, env)
+            for target in node.targets:
+                self.assign(target, value, node.value, env)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self.assign(node.target, self.eval(node.value, env), node.value, env)
+        elif isinstance(node, ast.AugAssign):
+            self.aug_assign(node, env)
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value, env)
+        elif isinstance(node, ast.If):
+            self.eval(node.test, env)
+            env_a, env_b = dict(env), dict(env)
+            self.exec_block(node.body, env_a)
+            self.exec_block(node.orelse, env_b)
+            env.clear()
+            for key in set(env_a) | set(env_b):
+                env[key] = _join(env_a.get(key, UNKNOWN), env_b.get(key, UNKNOWN))
+        elif isinstance(node, ast.For):
+            self.for_stmt(node, env)
+        elif isinstance(node, ast.While):
+            self.eval(node.test, env)
+            self.exec_block(node.body, env)
+            self.exec_block(node.orelse, env)
+        elif isinstance(node, ast.Try):
+            self.exec_block(node.body, env)
+            for handler in node.handlers:
+                self.exec_block(handler.body, env)
+            self.exec_block(node.orelse, env)
+            self.exec_block(node.finalbody, env)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, UNKNOWN, None, env)
+            self.exec_block(node.body, env)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.eval(node.value, env)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                env[(alias.asname or alias.name).split(".")[0]] = UNKNOWN
+        elif isinstance(node, (ast.Assert, ast.Raise)):
+            pass  # no effects we track
+        elif isinstance(node, ast.FunctionDef):
+            env[node.name] = UNKNOWN
+        # Pass/Break/Continue/Global/Nonlocal/Delete: nothing to do
+
+    def for_stmt(self, node: ast.For, env: dict[str, Value]) -> None:
+        it = node.iter
+        if isinstance(it, ast.Call):
+            fname = _dotted(it.func)
+            if fname == "range":
+                for arg in it.args:
+                    self.eval(arg, env)
+                self.assign(node.target, SCALAR, None, env)
+                self.exec_block(node.body, env)
+                self.exec_block(node.orelse, env)
+                return
+            if fname == "zip" and isinstance(node.target, ast.Tuple):
+                elems = [self._element_of(self.eval(a, env)) for a in it.args]
+                for tgt, val in zip(node.target.elts, elems):
+                    self.assign(tgt, val, None, env)
+                self.exec_block(node.body, env)
+                self.exec_block(node.orelse, env)
+                return
+            if fname == "enumerate" and isinstance(node.target, ast.Tuple):
+                seq = self.eval(it.args[0], env) if it.args else UNKNOWN
+                tgts = node.target.elts
+                if len(tgts) == 2:
+                    self.assign(tgts[0], SCALAR, None, env)
+                    self.assign(tgts[1], self._element_of(seq), None, env)
+                self.exec_block(node.body, env)
+                self.exec_block(node.orelse, env)
+                return
+        itval = self.eval(it, env)
+        self.assign(node.target, self._element_of(itval), None, env)
+        self.exec_block(node.body, env)
+        self.exec_block(node.orelse, env)
+
+    def _element_of(self, v: Value) -> Value:
+        """Value of one element when iterating / zip-destructuring ``v``."""
+        if v.kind == "array" and v.shape is not None and len(v.shape) == 1:
+            return _scalar(v.dtype)
+        if v.kind in ("scalar", "range"):
+            return SCALAR
+        # container of unknown rank: keep provenance (a list of injective
+        # maps yields injective maps; sub-arrays still alias the base)
+        return Value(
+            kind="unknown",
+            injective=v.injective,
+            aliases=v.aliases,
+        )
+
+    # -- assignment ----------------------------------------------------
+    def assign(
+        self,
+        target: ast.expr,
+        value: Value,
+        value_node: ast.expr | None,
+        env: dict[str, Value],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if value.kind == "tuple" and len(value.elts) == len(target.elts):
+                for tgt, val in zip(target.elts, value.elts):
+                    self.assign(tgt, val, None, env)
+            else:
+                for tgt in target.elts:
+                    self.assign(tgt, UNKNOWN, None, env)
+        elif isinstance(target, ast.Subscript):
+            self.subscript_store(target, value, value_node, env, augmented=False)
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value, env)
+            roots = frozenset(f"{a}.{target.attr}" for a in base.aliases)
+            if roots:
+                self.ir.mutations.append(
+                    Mutation(
+                        lineno=target.lineno,
+                        target=ast.unparse(target),
+                        roots=roots,
+                        via="attribute",
+                    )
+                )
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, UNKNOWN, None, env)
+
+    def aug_assign(self, node: ast.AugAssign, env: dict[str, Value]) -> None:
+        value = self.eval(node.value, env)
+        target = node.target
+        if isinstance(target, ast.Name):
+            tv = env.get(target.id, UNKNOWN)
+            if tv.aliases:
+                self.ir.mutations.append(
+                    Mutation(
+                        lineno=node.lineno,
+                        target=target.id,
+                        roots=tv.aliases,
+                        via="augassign",
+                    )
+                )
+            if tv.kind == "array" and _is_downcast(tv.dtype, value.dtype):
+                self.ir.cast_issues.append(
+                    CastIssue(node.lineno, target.id, value.dtype, tv.dtype)  # type: ignore[arg-type]
+                )
+            if tv.kind == "array" and value.kind == "array":
+                self._check_broadcast(node.lineno, tv, value)
+            # in-place op keeps dtype/shape; uniqueness is not preserved
+            env[target.id] = Value(
+                kind=tv.kind,
+                shape=tv.shape,
+                dtype=tv.dtype,
+                unique=tv.unique and value.kind == "scalar"
+                and isinstance(node.op, (ast.Add, ast.Sub)),
+                injective=False,
+                aliases=tv.aliases,
+            ) if tv.kind == "array" else tv
+        elif isinstance(target, ast.Subscript):
+            self.subscript_store(target, value, node.value, env, augmented=True)
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value, env)
+            roots = frozenset(f"{a}.{target.attr}" for a in base.aliases)
+            if roots:
+                self.ir.mutations.append(
+                    Mutation(
+                        lineno=node.lineno,
+                        target=ast.unparse(target),
+                        roots=roots,
+                        via="augassign",
+                    )
+                )
+
+    def subscript_store(
+        self,
+        target: ast.Subscript,
+        value: Value,
+        value_node: ast.expr | None,
+        env: dict[str, Value],
+        augmented: bool,
+    ) -> None:
+        base = self.eval(target.value, env)
+        mode, idx = self._classify_index(target.slice, env)
+        if base.aliases:
+            self.ir.mutations.append(
+                Mutation(
+                    lineno=target.lineno,
+                    target=ast.unparse(target.value),
+                    roots=base.aliases,
+                    via="subscript",
+                )
+            )
+        if mode == "fancy":
+            value_scalar = value.kind == "scalar" or isinstance(
+                value_node, ast.Constant
+            )
+            self.ir.scatters.append(
+                Scatter(
+                    lineno=target.lineno,
+                    target=ast.unparse(target),
+                    roots=base.aliases,
+                    index_unique=idx.unique,
+                    augmented=augmented,
+                    value_scalar=value_scalar,
+                )
+            )
+        if base.kind == "array" and _is_downcast(base.dtype, value.dtype):
+            self.ir.cast_issues.append(
+                CastIssue(
+                    target.lineno, ast.unparse(target.value),
+                    value.dtype, base.dtype,  # type: ignore[arg-type]
+                )
+            )
+        # mask / basic stores hit each selected position at most once —
+        # no aliasing is possible, so no scatter event is recorded
+
+    # -- expressions ---------------------------------------------------
+    def eval(self, node: ast.expr, env: dict[str, Value]) -> Value:
+        if isinstance(node, ast.Name):
+            if node.id in self.np_aliases:
+                return Value(kind="module")
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return _scalar("bool")
+            if isinstance(node.value, int):
+                return _scalar("int64")
+            if isinstance(node.value, float):
+                return _scalar("float64")
+            return SCALAR
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node, env)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node, env)
+        if isinstance(node, ast.Compare):
+            return self.eval_compare(node, env)
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.eval(v, env)
+            return _scalar("bool")
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return _scalar("bool")
+            return operand
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return _join(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return Value(
+                kind="tuple",
+                elts=tuple(self.eval(e, env) for e in node.elts),
+            )
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, env)
+            return Value(kind="slice")
+        if isinstance(node, ast.JoinedStr):
+            return SCALAR
+        # comprehensions, lambdas, starred, dict/set literals, ...
+        return UNKNOWN
+
+    def eval_attribute(self, node: ast.Attribute, env: dict[str, Value]) -> Value:
+        # numpy dtype literal (np.intp, np.uint8, ...)
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.np_aliases
+        ):
+            if node.attr in _DTYPE_NAMES:
+                return Value(kind="dtype", dtype=_normalize_dtype(node.attr))
+            return Value(kind="module")
+        base = self.eval(node.value, env)
+        if node.attr == "shape":
+            if base.shape is not None:
+                return Value(kind="shape", elts=tuple(base.shape))
+            return Value(kind="shape")
+        if node.attr == "dtype":
+            return Value(kind="dtype", dtype=base.dtype)
+        if node.attr in ("size", "ndim", "itemsize", "nbytes"):
+            return _scalar("int64")
+        if node.attr == "T":
+            return Value(
+                kind=base.kind, dtype=base.dtype, unique=base.unique,
+                aliases=base.aliases,
+            )
+        # dotted contract fact (e.g. "ct.maps", "self.states")
+        for alias in base.aliases:
+            fact = self._facts(f"{alias}.{node.attr}")
+            if fact is not None:
+                return fact
+        return Value(
+            kind="unknown",
+            aliases=frozenset(f"{a}.{node.attr}" for a in base.aliases),
+        )
+
+    # -- indexing ------------------------------------------------------
+    def _classify_index(
+        self, index: ast.expr, env: dict[str, Value]
+    ) -> tuple[str, Value]:
+        """Classify an index expression: basic / mask / fancy / multi."""
+        if isinstance(index, ast.Tuple):
+            elem_vals = []
+            any_array = False
+            for e in index.elts:
+                if isinstance(e, ast.Slice) or (
+                    isinstance(e, ast.Constant) and e.value is None
+                ):
+                    elem_vals.append(Value(kind="slice"))
+                    continue
+                v = self.eval(e, env)
+                elem_vals.append(v)
+                if v.kind == "array":
+                    any_array = True
+            if any_array:
+                return "multi", Value(kind="tuple", elts=tuple(elem_vals))
+            return "basic", Value(kind="slice")
+        if isinstance(index, ast.Slice):
+            self.eval(index, env)
+            return "basic", Value(kind="slice")
+        v = self.eval(index, env)
+        if v.kind == "array":
+            if v.dtype == "bool" or v.round_mask:
+                return "mask", v
+            return "fancy", v
+        return "basic", v
+
+    def eval_subscript(self, node: ast.Subscript, env: dict[str, Value]) -> Value:
+        base = self.eval(node.value, env)
+        mode, idx = self._classify_index(node.slice, env)
+        if mode == "mask":
+            return Value(
+                kind="array",
+                shape=(None,),
+                dtype=base.dtype,
+                unique=base.unique or idx.round_mask,
+            )
+        if mode == "fancy":
+            return Value(
+                kind="array",
+                shape=idx.shape,
+                dtype=base.dtype,
+                unique=base.injective and idx.unique,
+                injective=base.injective and idx.injective,
+            )
+        if mode == "multi":
+            return Value(kind="array", dtype=base.dtype)
+        # basic indexing: a view (slice) or an element
+        if isinstance(node.slice, (ast.Slice, ast.Tuple)):
+            return Value(
+                kind=base.kind,
+                dtype=base.dtype,
+                unique=base.unique and isinstance(node.slice, ast.Slice),
+                injective=base.injective,
+                aliases=base.aliases,
+            )
+        if base.kind == "shape":
+            return _scalar("int64")
+        if base.kind == "tuple" and isinstance(node.slice, ast.Constant):
+            i = node.slice.value
+            if isinstance(i, int) and -len(base.elts) <= i < len(base.elts):
+                return base.elts[i]
+        if base.kind == "array" and base.shape is not None:
+            if len(base.shape) == 1:
+                return _scalar(base.dtype)
+            return Value(
+                kind="array",
+                shape=tuple(base.shape[1:]),
+                dtype=base.dtype,
+                aliases=base.aliases,
+            )
+        # element of an unknown container: keep provenance, stay a view
+        return Value(
+            kind="unknown",
+            dtype=base.dtype,
+            injective=base.injective,
+            aliases=base.aliases,
+        )
+
+    # -- binary ops / comparisons --------------------------------------
+    def _check_broadcast(self, lineno: int, left: Value, right: Value) -> None:
+        _, conflict = _broadcast(left.shape, right.shape)
+        if conflict is not None:
+            self.ir.shape_issues.append(
+                ShapeIssue(
+                    lineno,
+                    f"operands have incompatible shapes "
+                    f"{left.shape} vs {right.shape} "
+                    f"(dims {conflict[0]} != {conflict[1]})",
+                )
+            )
+
+    def eval_binop(self, node: ast.BinOp, env: dict[str, Value]) -> Value:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        if left.kind != "array" and right.kind != "array":
+            if left.kind == "scalar" or right.kind == "scalar":
+                return _scalar(_promote(left.dtype, right.dtype))
+            return UNKNOWN
+        arr, other = (left, right) if left.kind == "array" else (right, left)
+        if left.kind == "array" and right.kind == "array":
+            self._check_broadcast(node.lineno, left, right)
+            shape, _ = _broadcast(left.shape, right.shape)
+        else:
+            shape = arr.shape
+        # adding/subtracting a scalar shifts all elements equally:
+        # pairwise distinctness is preserved (multiplication is not —
+        # a zero factor collapses everything)
+        unique = (
+            arr.unique
+            and other.kind == "scalar"
+            and isinstance(node.op, (ast.Add, ast.Sub))
+        )
+        return Value(
+            kind="array",
+            shape=shape,
+            dtype=_promote(left.dtype, right.dtype),
+            unique=unique,
+        )
+
+    def eval_compare(self, node: ast.Compare, env: dict[str, Value]) -> Value:
+        left = self.eval(node.left, env)
+        rights = [self.eval(c, env) for c in node.comparators]
+        # occ == r : the occurrence-round dedup mask
+        if (
+            len(rights) == 1
+            and isinstance(node.ops[0], ast.Eq)
+            and (left.occ_index or rights[0].occ_index)
+        ):
+            occ = left if left.occ_index else rights[0]
+            return Value(
+                kind="array", shape=occ.shape, dtype="bool", round_mask=True
+            )
+        arrays = [v for v in [left] + rights if v.kind == "array"]
+        if arrays:
+            shape = arrays[0].shape
+            if len(arrays) >= 2:
+                self._check_broadcast(node.lineno, arrays[0], arrays[1])
+                shape, _ = _broadcast(arrays[0].shape, arrays[1].shape)
+            return Value(kind="array", shape=shape, dtype="bool")
+        return _scalar("bool")
+
+    # -- calls ---------------------------------------------------------
+    def eval_call(self, node: ast.Call, env: dict[str, Value]) -> Value:
+        args = [
+            self.eval(a, env)
+            for a in node.args
+            if not isinstance(a, ast.Starred)
+        ]
+        kwargs = {
+            kw.arg: self.eval(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        dotted = _dotted(node.func)
+
+        # numpy API
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            if head in self.np_aliases and rest:
+                return self.eval_np_call(node, rest, args, kwargs, env)
+
+        # registered kernel called by bare name
+        if isinstance(node.func, ast.Name):
+            callee = self.globals.get(node.func.id)
+            if callee is not None and contract_of(callee) is not None:
+                return self.apply_contract(node, callee, args, kwargs)
+            return self.eval_builtin(node.func.id, node, args, kwargs, env)
+
+        # method call obj.m(...)
+        if isinstance(node.func, ast.Attribute):
+            base = self.eval(node.func.value, env)
+            method = node.func.attr
+            # self.method(...) resolving to a registered kernel
+            callee = self._resolve_method(node.func)
+            if callee is not None:
+                return self.apply_contract(node, callee, [base] + args, kwargs)
+            return self.eval_method(node, base, method, args, kwargs)
+        return UNKNOWN
+
+    def _resolve_method(self, func: ast.Attribute) -> Callable[..., Any] | None:
+        """Resolve ``self.m(...)`` to a registered kernel of the same class."""
+        if not (isinstance(func.value, ast.Name) and func.value.id == "self"):
+            return None
+        qual = self.ir.qualname
+        if "." not in qual:
+            return None
+        cls_name = qual.rsplit(".", 1)[0]
+        from .contracts import KERNEL_REGISTRY
+
+        return KERNEL_REGISTRY.get(f"{self.ir.module}.{cls_name}.{func.attr}")
+
+    def apply_contract(
+        self,
+        node: ast.Call,
+        callee: Callable[..., Any],
+        args: list[Value],
+        kwargs: dict[str, Value],
+    ) -> Value:
+        """Map a registered callee's declared effects onto our roots."""
+        contract = contract_of(callee)
+        assert contract is not None
+        try:
+            params = list(inspect.signature(callee).parameters)
+        except (TypeError, ValueError):  # pragma: no cover
+            return UNKNOWN
+        binding: dict[str, Value] = {}
+        for name, val in zip(params, args):
+            binding[name] = val
+        for name, val in kwargs.items():
+            if name in params:
+                binding[name] = val
+        for declared in (*contract.writes, *contract.caches):
+            root_param, _, rest = declared.partition(".")
+            bound = binding.get(root_param)
+            if bound is None or not bound.aliases:
+                continue
+            roots = frozenset(
+                f"{a}.{rest}" if rest else a for a in bound.aliases
+            )
+            self.ir.mutations.append(
+                Mutation(
+                    lineno=node.lineno,
+                    target=f"{contract.name}({declared})",
+                    roots=roots,
+                    via="call",
+                )
+            )
+        if contract.returns == "occurrence_index":
+            first = args[0] if args else UNKNOWN
+            return Value(
+                kind="array", shape=first.shape, dtype="intp", occ_index=True
+            )
+        return UNKNOWN
+
+    def eval_builtin(
+        self,
+        name: str,
+        node: ast.Call,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        env: dict[str, Value],
+    ) -> Value:
+        if name == "memoryview" and args:
+            src = args[0]
+            return Value(
+                kind="array", shape=src.shape, dtype=src.dtype,
+                aliases=src.aliases,
+            )
+        if name in ("int", "float", "bool", "len", "sum", "max", "min",
+                    "abs", "round", "id", "ord", "hash"):
+            dtypes = {"int": "int64", "float": "float64", "bool": "bool"}
+            return _scalar(dtypes.get(name))
+        if name == "range":
+            return Value(kind="range")
+        if name in ("list", "tuple", "sorted", "set", "dict", "frozenset"):
+            return Value(kind="tuple") if not args else Value(
+                kind="unknown", unique=args[0].unique
+            )
+        if name in ("zip", "enumerate", "reversed", "getattr", "isinstance",
+                    "print", "repr", "str", "format", "vars", "type"):
+            return UNKNOWN
+        return UNKNOWN
+
+    def eval_np_call(
+        self,
+        node: ast.Call,
+        func: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        env: dict[str, Value],
+    ) -> Value:
+        """Semantics of the numpy calls the kernels use."""
+        a0 = args[0] if args else UNKNOWN
+        dtype = None
+        if "dtype" in kwargs:
+            dtype = kwargs["dtype"].dtype
+
+        # ufunc.at — the safe unbuffered scatter-accumulate
+        if func.endswith(".at"):
+            if a0.aliases:
+                self.ir.mutations.append(
+                    Mutation(
+                        lineno=node.lineno,
+                        target=ast.unparse(node.args[0]) if node.args else "?",
+                        roots=a0.aliases,
+                        via="call",
+                    )
+                )
+            return UNKNOWN
+        if func in ("asarray", "ascontiguousarray", "asfortranarray"):
+            return Value(
+                kind="array",
+                shape=a0.shape,
+                dtype=dtype or a0.dtype,
+                unique=a0.unique,
+                injective=a0.injective,
+                aliases=a0.aliases,
+            )
+        if func == "arange":
+            return Value(
+                kind="array", shape=(None,), dtype=dtype or "intp",
+                unique=True, injective=True,
+            )
+        if func == "unique":
+            base = Value(kind="array", shape=(None,), dtype=a0.dtype, unique=True)
+            extras = [
+                k for k in ("return_index", "return_inverse", "return_counts")
+                if k in kwargs
+            ]
+            if extras:
+                others = tuple(
+                    Value(kind="array", shape=(None,), dtype="intp",
+                          unique=(k == "return_index"))
+                    for k in extras
+                )
+                return Value(kind="tuple", elts=(base, *others))
+            return base
+        if func in ("flatnonzero", "argsort"):
+            return Value(
+                kind="array", shape=(None,), dtype="intp",
+                unique=True, injective=(func == "argsort"),
+            )
+        if func == "nonzero":
+            one_d = a0.shape is not None and len(a0.shape) == 1
+            elt = Value(kind="array", shape=(None,), dtype="intp", unique=one_d)
+            return Value(kind="tuple", elts=(elt, elt))
+        if func == "tril_indices":
+            elt = Value(kind="array", shape=(None,), dtype="intp")
+            return Value(kind="tuple", elts=(elt, elt))
+        if func in ("zeros", "empty", "ones", "full"):
+            shape = None
+            if node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, int):
+                    shape = (first.value,)
+                elif isinstance(first, ast.Tuple):
+                    dims = []
+                    for e in first.elts:
+                        if isinstance(e, ast.Constant) and isinstance(e.value, int):
+                            dims.append(e.value)
+                        else:
+                            dims.append(None)
+                    shape = tuple(dims)
+                elif a0.kind == "shape" and a0.elts:
+                    shape = tuple(
+                        None if isinstance(d, Value) else d for d in a0.elts
+                    )
+            default = "float64" if func != "empty" else None
+            return Value(kind="array", shape=shape, dtype=dtype or default)
+        if func in ("zeros_like", "empty_like", "ones_like", "full_like"):
+            return Value(kind="array", shape=a0.shape, dtype=dtype or a0.dtype)
+        if func == "bincount":
+            return Value(kind="array", shape=(None,), dtype="intp")
+        if func == "array":
+            return Value(kind="array", dtype=dtype)
+        if func in ("concatenate", "hstack", "vstack", "stack", "repeat",
+                    "tile", "where", "cumsum", "sort", "searchsorted",
+                    "minimum", "maximum", "clip", "add", "subtract",
+                    "abs", "sign", "mod"):
+            arrays = [v for v in args if v.kind == "array"]
+            if func in ("minimum", "maximum", "add", "subtract", "mod") and len(arrays) >= 2:
+                self._check_broadcast(node.lineno, arrays[0], arrays[1])
+            shape = arrays[0].shape if len(arrays) == 1 else None
+            out_dtype = arrays[0].dtype if arrays else a0.dtype
+            if func in ("concatenate", "hstack", "vstack", "stack", "repeat", "tile"):
+                shape, out_dtype = None, None
+            return Value(kind="array", shape=shape, dtype=out_dtype)
+        if func in ("count_nonzero", "sum", "dot", "argmax", "argmin", "prod"):
+            return _scalar("int64" if func in ("count_nonzero", "argmax", "argmin") else None)
+        if func == "unravel_index":
+            elt = Value(kind="array", dtype="intp")
+            return Value(kind="tuple", elts=(elt, elt))
+        return UNKNOWN
+
+    def eval_method(
+        self,
+        node: ast.Call,
+        base: Value,
+        method: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+    ) -> Value:
+        if method == "reshape":
+            shape: tuple | None = None
+            if len(node.args) == 1:
+                arg_node = node.args[0]
+                argval = args[0]
+                if argval.kind == "shape" and argval.elts:
+                    shape = tuple(
+                        d if not isinstance(d, Value) else None
+                        for d in argval.elts
+                    )
+                elif (
+                    isinstance(arg_node, ast.UnaryOp)
+                    and isinstance(arg_node.op, ast.USub)
+                    and isinstance(arg_node.operand, ast.Constant)
+                    and arg_node.operand.value == 1
+                ):
+                    if base.shape is not None and all(
+                        d is not None for d in base.shape
+                    ):
+                        shape = ("*".join(str(d) for d in base.shape),)
+                    else:
+                        shape = (None,)
+            return Value(
+                kind="array", shape=shape, dtype=base.dtype,
+                unique=base.unique, aliases=base.aliases,
+            )
+        if method == "astype":
+            # explicit casts are intentional — never an SR043
+            new_dtype = args[0].dtype if args else None
+            return Value(
+                kind="array", shape=base.shape, dtype=new_dtype,
+                unique=base.unique,
+            )
+        if method == "copy":
+            return Value(
+                kind=base.kind, shape=base.shape, dtype=base.dtype,
+                unique=base.unique, injective=base.injective,
+            )
+        if method in ("max", "min", "sum", "mean", "prod", "std", "var"):
+            if "axis" in kwargs:
+                return Value(kind="array", dtype=base.dtype)
+            return _scalar(base.dtype)
+        if method in ("any", "all"):
+            return _scalar("bool")
+        if method in ("item", "tolist", "get", "keys", "values", "items",
+                      "view", "ravel", "flatten", "nonzero", "cumsum"):
+            if method == "item":
+                return _scalar(base.dtype)
+            if method in ("ravel", "flatten", "view"):
+                return Value(
+                    kind="array", dtype=base.dtype, unique=base.unique,
+                    aliases=base.aliases if method != "flatten" else frozenset(),
+                )
+            return UNKNOWN
+        if method == "permutation":
+            # Generator.permutation — a random permutation is injective
+            return Value(
+                kind="array", shape=(None,), dtype="int64",
+                unique=True, injective=True,
+            )
+        if method in _MUTATING_METHODS:
+            if base.aliases:
+                self.ir.mutations.append(
+                    Mutation(
+                        lineno=node.lineno,
+                        target=ast.unparse(node.func),
+                        roots=base.aliases,
+                        via="method",
+                    )
+                )
+            return UNKNOWN
+        return UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+def build_ir(fn: Callable[..., Any], source: str | None = None) -> KernelIR:
+    """Parse and abstractly interpret one decorated kernel.
+
+    ``source`` overrides ``inspect.getsource`` — used by the mutation
+    tests to analyze a textually mutated copy of a shipped kernel.
+    """
+    contract = contract_of(fn)
+    if contract is None:
+        raise ValueError(f"{fn.__qualname__} has no @kernel contract")
+    offset = 0
+    if source is None:
+        source = inspect.getsource(fn)
+        # report absolute file linenos for real (non-mutated) sources
+        offset = getattr(getattr(fn, "__code__", None), "co_firstlineno", 1) - 1
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    if offset:
+        ast.increment_lineno(tree, offset)
+    fdef = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    params = tuple(
+        a.arg
+        for a in (
+            fdef.args.posonlyargs + fdef.args.args + fdef.args.kwonlyargs
+        )
+    )
+    ir = KernelIR(
+        name=fn.__name__,
+        qualname=fn.__qualname__,
+        module=fn.__module__,
+        contract=contract,
+        params=params,
+    )
+    for lineno, line in enumerate(source.splitlines(), start=1 + offset):
+        m = _PRAGMA_RE.search(line)
+        if m:
+            ir.pragmas.setdefault(lineno, {})[m.group(1)] = m.group(2)
+    _Interp(fn, ir).run(fdef.body)
+    return ir

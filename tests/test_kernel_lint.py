@@ -1,0 +1,570 @@
+"""Tests for repro.lint.kernel_lint — the scatter-aliasing prover.
+
+Three layers:
+
+* unit tests of the ``@kernel`` contract machinery and the dataflow IR
+  (uniqueness provenance, index classification, shape/dtype inference),
+* adversarial kernels triggering each SR04x/SR05x code, plus seeded
+  mutants of shipped kernels (``np.add.at``-style dedup replaced by a
+  bare ``+=`` fancy scatter) that the linter must catch,
+* differential tests pitting the static aliasing verdict against a
+  brute-force runtime enumeration of write-index collisions
+  (:func:`repro.lint.kernel_lint.runtime_write_collisions`) on the
+  ZGB, diffusion, Ising and type-partitioned configurations.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.core import Lattice
+from repro.core.kernels import (
+    _execute_masked,
+    _occurrence_index,
+    _write_flat,
+    run_trials_batch,
+    run_trials_batch_with_duplicates,
+    run_trials_stacked,
+)
+from repro.lint import (
+    KERNEL_MODULES,
+    KernelContract,
+    analyze_kernel,
+    build_ir,
+    check_twins,
+    contract_of,
+    kernel,
+    lint_kernels,
+    registered_kernels,
+    runtime_write_collisions,
+)
+from repro.models import diffusion_model_1d, ising_model_2d, zgb_model
+from repro.partition import (
+    checkerboard,
+    five_chunk_partition,
+    modular_tiling,
+    split_by_orientation,
+)
+
+
+# ----------------------------------------------------------------------
+# contract machinery
+# ----------------------------------------------------------------------
+class TestContracts:
+    def test_decorator_registers_and_preserves(self):
+        @kernel(reads=("x",), writes=("out",))
+        def k(out, x):
+            out[:] = x
+
+        assert k.__name__ == "k"
+        c = contract_of(k)
+        assert isinstance(c, KernelContract)
+        assert c.writes == ("out",) and c.reads == ("x",)
+        assert not c.pure
+        assert "out" in c.allowed_writes()
+
+    def test_pure_with_writes_rejected(self):
+        with pytest.raises(ValueError, match="pure"):
+            kernel(pure=True, writes=("x",))(lambda x: None)
+
+    def test_contract_of_undecorated_is_none(self):
+        assert contract_of(lambda: None) is None
+
+    def test_caches_count_as_allowed_writes(self):
+        @kernel(reads=(), caches=("compiled",))
+        def k(compiled):
+            compiled._tables = {}
+
+        c = contract_of(k)
+        assert "compiled" in c.allowed_writes()
+        assert analyze_kernel(k).ok(strict=True)
+
+    def test_registered_kernels_cover_all_modules(self):
+        kernels = registered_kernels(KERNEL_MODULES)
+        names = {f.__name__ for f in kernels}
+        assert {
+            "run_trials_sequential",
+            "run_trials_batch",
+            "run_trials_stacked",
+            "run_trials_interleaved",
+            "_execute_masked",
+            "_occurrence_index",
+            "_stacked_counts",
+            "_write_flat",
+            "execute",
+            "_step_block",
+            "_visit_chunk",
+        } <= names
+        # every module contributes at least one kernel
+        mods = {f.__module__ for f in kernels}
+        assert set(KERNEL_MODULES) <= mods
+
+
+# ----------------------------------------------------------------------
+# dataflow IR: uniqueness provenance and classification
+# ----------------------------------------------------------------------
+class TestIR:
+    def test_arange_scatter_is_unique(self):
+        @kernel(reads=(), writes=("out",))
+        def k(out):
+            idx = np.arange(out.shape[0])
+            out[idx] += 1
+
+        ir = build_ir(k)
+        assert len(ir.scatters) == 1
+        assert ir.scatters[0].index_unique
+        assert analyze_kernel(k).ok(strict=True)
+
+    def test_param_index_not_unique_without_disjoint(self):
+        @kernel(reads=("idx",), writes=("out",), dtypes={"idx": "intp"})
+        def k(out, idx):
+            out[idx] += 1
+
+        ir = build_ir(k)
+        assert len(ir.scatters) == 1
+        assert not ir.scatters[0].index_unique
+
+    def test_disjoint_param_is_unique(self):
+        @kernel(
+            reads=("idx",), writes=("out",),
+            disjoint=("idx",), dtypes={"idx": "intp"},
+        )
+        def k(out, idx):
+            out[idx] += 1
+
+        assert build_ir(k).scatters[0].index_unique
+        assert analyze_kernel(k).ok(strict=True)
+
+    def test_bool_mask_subset_preserves_uniqueness(self):
+        @kernel(
+            reads=("idx", "keep"), writes=("out",),
+            disjoint=("idx",), dtypes={"idx": "intp", "keep": "bool"},
+        )
+        def k(out, idx, keep):
+            out[idx[keep]] += 1
+
+        assert build_ir(k).scatters[0].index_unique
+
+    def test_injective_gather_at_unique_index_is_unique(self):
+        # the _execute_masked proof shape: m injective, hits unique
+        @kernel(
+            reads=("hits",), writes=("state",),
+            disjoint=("hits",), injective=("m",),
+            dtypes={"hits": "intp", "m": "intp"},
+        )
+        def k(state, m, hits):
+            state[m[hits]] = 3
+
+        assert build_ir(k).scatters[0].index_unique
+
+    def test_arithmetic_degrades_uniqueness(self):
+        @kernel(
+            reads=("idx",), writes=("out",),
+            disjoint=("idx",), dtypes={"idx": "intp"},
+        )
+        def k(out, idx):
+            out[idx * 2] += 1  # multiplication could collide after wrap
+
+        assert not build_ir(k).scatters[0].index_unique
+
+    def test_shift_preserves_uniqueness(self):
+        @kernel(
+            reads=("idx",), writes=("out",),
+            disjoint=("idx",), dtypes={"idx": "intp"},
+        )
+        def k(out, idx):
+            out[idx + 1] += 1  # a constant shift cannot create duplicates
+
+        assert build_ir(k).scatters[0].index_unique
+
+    def test_occurrence_round_mask_dedups(self):
+        @kernel(reads=("sites",), writes=("out",), dtypes={"sites": "intp"})
+        def k(out, sites):
+            occ = _occurrence_index(sites)
+            for r in range(int(occ.max()) + 1):
+                pick = occ == r
+                out[sites[pick]] += 1
+
+        ir = build_ir(k)
+        assert len(ir.scatters) == 1
+        assert ir.scatters[0].index_unique
+
+    def test_basic_and_mask_stores_are_not_scatters(self):
+        @kernel(reads=("mask",), writes=("out",), dtypes={"mask": "bool"})
+        def k(out, mask):
+            out[0] = 1
+            out[1:5] = 2
+            out[mask] = 3
+
+        assert build_ir(k).scatters == []
+        assert analyze_kernel(k).ok(strict=True)
+
+    def test_ufunc_at_is_safe(self):
+        @kernel(reads=("idx",), writes=("out",), dtypes={"idx": "intp"})
+        def k(out, idx):
+            np.add.at(out, idx, 1)
+
+        ir = build_ir(k)
+        assert ir.scatters == []
+        assert any("out" in m.roots for m in ir.mutations)
+        assert analyze_kernel(k).ok(strict=True)
+
+
+# ----------------------------------------------------------------------
+# adversarial kernels: one per diagnostic code
+# ----------------------------------------------------------------------
+class TestAdversarialKernels:
+    def test_sr040_augmented_fancy_scatter(self):
+        @kernel(reads=("idx",), writes=("counts",), dtypes={"idx": "intp"})
+        def bad(counts, idx):
+            counts[idx] += 1
+
+        report = analyze_kernel(bad)
+        assert report.by_code("SR040")
+        assert not report.ok()
+
+    def test_sr041_plain_fancy_scatter_with_array_rhs(self):
+        @kernel(
+            reads=("idx", "vals"), writes=("out",),
+            dtypes={"idx": "intp"},
+        )
+        def bad(out, idx, vals):
+            out[idx] = vals
+
+        assert analyze_kernel(bad).by_code("SR041")
+
+    def test_sr041_scalar_rhs_exempt(self):
+        @kernel(reads=("idx",), writes=("out",), dtypes={"idx": "intp"})
+        def ok(out, idx):
+            out[idx] = 7  # last-write-wins with an identical value
+
+        assert analyze_kernel(ok).ok(strict=True)
+
+    def test_sr042_provable_broadcast_mismatch(self):
+        @kernel(
+            pure=True, reads=("a", "b"),
+            shapes={"a": (3, 4), "b": (5, 4)},
+        )
+        def bad(a, b):
+            return a + b
+
+        assert analyze_kernel(bad).by_code("SR042")
+
+    def test_sr042_symbolic_dims_never_fire(self):
+        @kernel(
+            pure=True, reads=("a", "b"),
+            shapes={"a": ("R", 4), "b": ("Q", 4)},
+        )
+        def ok(a, b):
+            return a + b
+
+        assert analyze_kernel(ok).ok(strict=True)
+
+    def test_sr043_implicit_downcast(self):
+        @kernel(
+            reads=("x",), writes=("counts",),
+            dtypes={"counts": "int64", "x": "float64"},
+        )
+        def bad(counts, x):
+            counts[0] = x[0] * 0.5
+
+        assert analyze_kernel(bad).by_code("SR043")
+
+    def test_sr043_explicit_astype_exempt(self):
+        @kernel(
+            reads=("x",), writes=("counts",),
+            dtypes={"counts": "int64", "x": "float64"},
+        )
+        def ok(counts, x):
+            counts[:] = x.astype(np.int64)
+
+        assert analyze_kernel(ok).ok(strict=True)
+
+    def test_sr050_pure_kernel_mutates(self):
+        @kernel(pure=True, reads=("x",))
+        def bad(x):
+            x.fill(0)
+
+        report = analyze_kernel(bad)
+        diags = report.by_code("SR050")
+        assert diags and "pure" in diags[0].message
+
+    def test_sr050_undeclared_write(self):
+        @kernel(reads=("x",), writes=("out",))
+        def bad(out, x, scratch):
+            out[:] = x
+            scratch[:] = 0  # not declared
+
+        assert analyze_kernel(bad).by_code("SR050")
+
+    def test_sr050_prefix_rule_covers_attributes(self):
+        @kernel(reads=(), writes=("compiled",))
+        def ok(compiled):
+            compiled._seq_tables = {}
+
+        assert analyze_kernel(ok).ok(strict=True)
+
+    def test_sr050_local_copies_are_free(self):
+        @kernel(pure=True, reads=("starts",))
+        def ok(starts):
+            ptr = np.asarray(starts).copy()
+            ptr += 1  # mutates the local copy, not the argument
+            return ptr
+
+        assert analyze_kernel(ok).ok(strict=True)
+
+    def test_sr051_missing_twin(self):
+        @kernel(reads=(), writes=("out",), twin="no_such_kernel")
+        def solo(out):
+            out[:] = 0
+
+        report = check_twins([solo])
+        assert report.by_code("SR051")
+
+    def test_sr051_purity_drift(self):
+        @kernel(pure=True, reads=("x",))
+        def seq_k(x):
+            return x
+
+        @kernel(reads=("x",), writes=("x",), twin="seq_k")
+        def ens_k(x):
+            x[:] = 0
+
+        assert check_twins([seq_k, ens_k]).by_code("SR051")
+
+    def test_sr051_write_set_drift(self):
+        @kernel(reads=("sites",), writes=("state",))
+        def seq_w(state, sites):
+            state[0] = 1
+
+        @kernel(
+            reads=("sites",), writes=("states", "counts"),
+            twin="seq_w", rename={"states": "state"},
+        )
+        def ens_w(states, sites, counts):
+            states[0] = 1
+            counts[0] += 1
+
+        # counts is a shared-name drift candidate only if seq_w has it;
+        # it does not, so the drift is exactly on the shared params —
+        # here the sets agree and a note is produced
+        report = check_twins([seq_w, ens_w])
+        assert not report.by_code("SR051")
+        assert any("twin contracts agree" in n for n in report.notes)
+
+        @kernel(reads=("sites",), writes=(), twin="seq_w",
+                rename={"states": "state"})
+        def ens_drift(states, sites, state=None):
+            return None
+
+        # ens_drift shares the (renamed) "state" param but declares no
+        # write on it while the twin does -> drift
+        assert check_twins([seq_w, ens_drift]).by_code("SR051")
+
+    def test_pragma_justification_downgrades(self):
+        @kernel(reads=("idx", "vals"), writes=("out",), dtypes={"idx": "intp"})
+        def justified(out, idx, vals):
+            # lint: justified(SR041): disjointness proven out of band
+            out[idx] = vals
+
+        report = analyze_kernel(justified)
+        assert report.ok(strict=True)
+        assert any("justified" in n for n in report.notes)
+
+    def test_contract_justification_downgrades(self):
+        @kernel(
+            reads=("idx", "vals"), writes=("out",),
+            dtypes={"idx": "intp"},
+            justify={"SR041": "caller guarantees disjoint idx"},
+        )
+        def justified(out, idx, vals):
+            out[idx] = vals
+
+        assert analyze_kernel(justified).ok(strict=True)
+
+    def test_justification_is_per_code(self):
+        @kernel(
+            reads=("idx", "vals"), writes=("out",),
+            dtypes={"idx": "intp"},
+            justify={"SR041": "does not cover SR040"},
+        )
+        def still_bad(out, idx, vals):
+            out[idx] += vals
+
+        assert analyze_kernel(still_bad).by_code("SR040")
+
+
+# ----------------------------------------------------------------------
+# shipped kernels: strict-clean, and seeded mutants caught
+# ----------------------------------------------------------------------
+class TestShippedKernels:
+    def test_all_shipped_kernels_strict_clean(self):
+        report = lint_kernels()
+        assert report.ok(strict=True), report.render()
+
+    def test_twin_notes_present(self):
+        report = lint_kernels()
+        agree = [n for n in report.notes if "twin contracts agree" in n]
+        assert len(agree) >= 2  # stacked/batch and interleaved/sequential
+
+    def test_seeded_mutant_add_at_to_augmented(self):
+        """The acceptance-criterion mutant: np.add.at -> bare `+=`."""
+
+        @kernel(reads=("idx",), writes=("counts",), dtypes={"idx": "intp"})
+        def good(counts, idx):
+            np.add.at(counts, idx, 1)
+
+        assert analyze_kernel(good).ok(strict=True)
+        mutant = inspect.getsource(good).replace(
+            "np.add.at(counts, idx, 1)", "counts[idx] += 1"
+        )
+        report = analyze_kernel(good, source=mutant)
+        assert report.by_code("SR040"), report.render()
+
+    def test_seeded_mutant_write_flat(self):
+        """Mutating _write_flat's justified `=` into `+=` fires SR040.
+
+        The shipped contract justifies SR041 only; an augmented scatter
+        through the same possibly-repeated index is a new bug class and
+        must not inherit the justification.
+        """
+        src = inspect.getsource(_write_flat)
+        assert "] = ctgt" in src
+        mutant = src.replace("] = ctgt", "] += ctgt")
+        report = analyze_kernel(_write_flat, source=mutant)
+        assert report.by_code("SR040"), report.render()
+
+    def test_seeded_mutant_execute_masked_loses_dedup(self):
+        """Dropping the bool-mask dedup of _execute_masked fires SR041.
+
+        Shipped code scatters through ``m[hits]`` with ``hits`` a subset
+        of the ``disjoint`` ``sel``; replacing ``hits`` by a raw
+        concatenation destroys the uniqueness chain.
+        """
+        src = inspect.getsource(_execute_masked)
+        assert "hits = sel[mask]" in src
+        mutant = src.replace(
+            "hits = sel[mask]", "hits = np.concatenate((sel, sel))"
+        )
+        report = analyze_kernel(_execute_masked, source=mutant)
+        assert report.by_code("SR041"), report.render()
+
+    def test_occurrence_index_is_pure_and_clean(self):
+        report = analyze_kernel(_occurrence_index)
+        assert report.ok(strict=True), report.render()
+        ir = build_ir(_occurrence_index)
+        # occ[order] = occ_sorted: order = argsort(...) is injective
+        assert all(s.index_unique for s in ir.scatters)
+
+
+# ----------------------------------------------------------------------
+# differential: static verdict vs. runtime collision enumeration
+# ----------------------------------------------------------------------
+def _collision_free_chunks(model, lattice, partition, seed=0):
+    comp = model.compile(lattice)
+    rng = np.random.default_rng(seed)
+    total = 0
+    for chunk in partition.chunks:
+        types = rng.integers(0, comp.n_types, size=chunk.size)
+        collisions = runtime_write_collisions(comp, chunk, types)
+        assert collisions == [], (
+            f"{model.name}: chunk batch has write collisions {collisions[:3]}"
+        )
+        total += chunk.size
+    assert total == lattice.n_sites
+
+
+class TestDifferential:
+    """Static aliasing verdict == brute-force runtime index enumeration."""
+
+    def test_zgb_five_chunk_batches_collision_free(self):
+        lat = Lattice((10, 10))
+        _collision_free_chunks(zgb_model(0.5), lat, five_chunk_partition(lat))
+
+    def test_diffusion_modular_batches_collision_free(self):
+        lat = Lattice((12,))
+        part = modular_tiling(lat, 3, (1,))
+        _collision_free_chunks(diffusion_model_1d(), lat, part)
+
+    def test_ising_five_chunk_batches_collision_free(self):
+        lat = Lattice((10, 10))
+        _collision_free_chunks(
+            ising_model_2d(beta=0.4), lat, five_chunk_partition(lat)
+        )
+
+    def test_typepart_single_type_checkerboard_collision_free(self):
+        # type-partitioned CA precondition: per single type, the
+        # checkerboard chunks are conflict-free — so single-type
+        # batches cannot collide
+        model = zgb_model(0.5)
+        lat = Lattice((10, 10))
+        comp = model.compile(lat)
+        part = checkerboard(lat)
+        split = split_by_orientation(model)
+        for subset in split.subsets:
+            for t in subset.type_indices:
+                for chunk in part.chunks:
+                    types = np.full(chunk.size, t, dtype=np.intp)
+                    assert runtime_write_collisions(comp, chunk, types) == []
+
+    def test_adversarial_duplicate_sites_collide(self):
+        model = zgb_model(0.5)
+        lat = Lattice((10, 10))
+        comp = model.compile(lat)
+        sites = np.array([0, 0], dtype=np.intp)
+        types = np.zeros(2, dtype=np.intp)
+        assert runtime_write_collisions(comp, sites, types)
+
+    def test_adversarial_adjacent_pair_reactions_collide(self):
+        model = zgb_model(0.5)
+        lat = Lattice((10, 10))
+        comp = model.compile(lat)
+        # find a pair (two-change) reaction type and anchor it at two
+        # sites one pair-axis step apart: footprints share a cell
+        t = next(
+            i for i, rt in enumerate(model.reaction_types)
+            if len(rt.changes) == 2
+        )
+        off = next(
+            c.offset for c in model.reaction_types[t].changes
+            if any(c.offset)
+        )
+        s0 = 0
+        s1 = int(comp.types[t].maps[1][s0]) if any(off) else 1
+        sites = np.array([s0, s1], dtype=np.intp)
+        types = np.full(2, t, dtype=np.intp)
+        assert runtime_write_collisions(comp, sites, types)
+
+    def test_duplicate_stream_matches_dedup_kernel(self):
+        """Runtime collisions exist <-> the dedup kernel must be used.
+
+        The adversarial stream has collisions, the naive batch kernel
+        would lose updates (the SR040 failure mode), and the shipped
+        occurrence-round kernel executes it with strict sequential
+        semantics.
+        """
+        model = zgb_model(0.5)
+        lat = Lattice((10, 10))
+        comp = model.compile(lat)
+        rng = np.random.default_rng(7)
+        # repeats of conflict-free chunk sites: distinct sites cannot
+        # conflict (the kernel's precondition), duplicates can
+        chunk = five_chunk_partition(lat).chunks[0]
+        sites = rng.choice(chunk, size=64, replace=True).astype(np.intp)
+        types = rng.integers(0, comp.n_types, size=64).astype(np.intp)
+        assert runtime_write_collisions(comp, sites, types)
+
+        from repro.core.kernels import run_trials_sequential
+
+        state_seq = np.zeros(lat.n_sites, dtype=np.uint8)
+        state_dup = state_seq.copy()
+        run_trials_sequential(state_seq, comp, sites, types)
+        run_trials_batch_with_duplicates(state_dup, comp, sites, types)
+        np.testing.assert_array_equal(state_seq, state_dup)
+
+    def test_static_verdicts_match_runtime_model(self):
+        # the kernels the engine trusts for simultaneous batches are
+        # exactly the statically-clean ones
+        for fn in (run_trials_batch, run_trials_stacked, _execute_masked):
+            assert analyze_kernel(fn).ok(strict=True), fn.__name__
