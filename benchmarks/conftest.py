@@ -3,12 +3,16 @@
 Every benchmark regenerates one table/figure of the paper (see
 DESIGN.md for the mapping) and, besides timing, writes the experiment's
 plain-text report to ``benchmarks/reports/<name>.txt`` so the
-reproduction artefacts survive the run.
+reproduction artefacts survive the run.  All writes are atomic
+(temp file + ``os.replace``): an interrupted run never leaves a
+truncated report behind.
 """
 
 from pathlib import Path
 
 import pytest
+
+from repro.obs import bench_record, write_bench_json, write_text_atomic
 
 REPORT_DIR = Path(__file__).parent / "reports"
 
@@ -21,11 +25,21 @@ def report_dir() -> Path:
 
 @pytest.fixture
 def save_report(report_dir):
-    """Write an experiment report; returns the path."""
+    """Atomically write an experiment report; returns the path."""
 
     def _save(name: str, text: str) -> Path:
         path = report_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        write_text_atomic(path, text + "\n")
         return path
+
+    return _save
+
+
+@pytest.fixture
+def save_bench_json(report_dir):
+    """Atomically write a schema-validated ``BENCH_<name>.json`` report."""
+
+    def _save(name: str, **fields) -> Path:
+        return write_bench_json(report_dir, bench_record(name=name, **fields))
 
     return _save

@@ -4,11 +4,16 @@ Commands
 --------
 ``list``
     List the reproduction experiments (tables/figures) and algorithms.
-``run <experiment-id> [...]``
+``run <experiment-id> [--metrics]``
     Run one experiment by registry id and print its report
-    (e.g. ``python -m repro run fig4``).
+    (e.g. ``python -m repro run fig4``); ``--metrics`` appends the
+    run's collected counters/histograms (see :mod:`repro.obs`).
 ``algorithms``
     Print the algorithm taxonomy table.
+``bench [--engines ...] [--json] [--check FILE ...]``
+    Small instrumented benchmark runs with machine-readable telemetry:
+    ``--json`` writes schema-validated ``BENCH_<engine>.json`` reports,
+    ``--check`` validates existing report files (the CI gate).
 ``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--kernels] [--json] [--strict]``
     Static verification: model sanity, symbolic partition race proofs,
     RNG draw audit, and — with ``--kernels`` — the kernel-level
@@ -39,12 +44,31 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     import repro.experiments as experiments
 
+    if args.metrics:
+        from repro.obs import MetricsCollector, format_metrics, use_metrics
+
+        collector = MetricsCollector()
+        try:
+            with use_metrics(collector):
+                print(experiments.report(args.experiment))
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print()
+        print(format_metrics(collector.snapshot()))
+        return 0
     try:
         print(experiments.report(args.experiment))
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import run
+
+    return run(args)
 
 
 def _cmd_algorithms(_args) -> int:
@@ -85,6 +109,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run = sub.add_parser("run", help="run one experiment and print its report")
     p_run.add_argument("experiment", help="experiment id (see 'list')")
+    p_run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print run metrics (counters/gauges/histograms)",
+    )
     p_run.set_defaults(fn=_cmd_run)
     sub.add_parser("algorithms", help="print the algorithm taxonomy").set_defaults(
         fn=_cmd_algorithms
@@ -96,6 +125,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(fn=_cmd_lint)
+    from repro.obs.bench import add_bench_arguments
+
+    p_bench = sub.add_parser(
+        "bench", help="instrumented benchmarks with machine-readable telemetry"
+    )
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(fn=_cmd_bench)
     sub.add_parser("info", help="package information").set_defaults(fn=_cmd_info)
     args = parser.parse_args(argv)
     try:

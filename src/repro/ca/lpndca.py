@@ -130,14 +130,18 @@ class LPNDCA(SimulatorBase):
         self.algorithm = f"L-PNDCA[m={partition.m},L={L},{chunk_selection}]"
 
     # ------------------------------------------------------------------
-    def _visit(self, chunk: np.ndarray, n_trials: int) -> None:
+    def _visit(self, chunk: np.ndarray, n_trials: int, index: int = -1) -> None:
         """``n_trials`` random trials (with replacement) inside a chunk."""
         comp = self.compiled
+        m = self.metrics
         if chunk.size == 1:
             sites = np.repeat(chunk, n_trials)
         else:
             sites = chunk[self.rng.integers(0, chunk.size, size=n_trials)]
         types = draw_types(self.rng, comp.type_cum, n_trials)
+        if m.enabled:
+            executed0 = int(self.executed_per_type.sum())
+            self._record_attempts(types)
         if self.uses_sequential_fallback:
             run_trials_sequential(
                 self.state.array, comp, sites, types, counts=self.executed_per_type
@@ -148,6 +152,13 @@ class LPNDCA(SimulatorBase):
             )
         self.n_trials += n_trials
         self.time += self.time_increment(n_trials)
+        if m.enabled:
+            executed = int(self.executed_per_type.sum()) - executed0
+            m.inc("lpndca.chunk.visits")
+            m.observe("lpndca.visit.L", n_trials)
+            if n_trials:
+                m.observe("lpndca.visit.utilisation", executed / n_trials)
+        self.tracer.on_chunk(index, n_trials, self.time)
         self._notify()
 
     def _choose_chunk(self) -> int:
@@ -166,6 +177,8 @@ class LPNDCA(SimulatorBase):
         if self._rsm_equivalent:
             sites = self.rng.integers(0, n, size=n).astype(np.intp)
             types = draw_types(self.rng, self.compiled.type_cum, n)
+            if self.metrics.enabled:
+                self._record_attempts(types)
             run_trials_sequential(
                 self.state.array, self.compiled, sites, types,
                 counts=self.executed_per_type,
@@ -187,7 +200,7 @@ class LPNDCA(SimulatorBase):
                 L = min(L, budget)
                 if L <= 0:
                     break
-                self._visit(chunk, L)
+                self._visit(chunk, L, int(i))
                 budget -= L
             return n - budget if budget < n else n
         # repeat-loop selections
@@ -197,6 +210,6 @@ class LPNDCA(SimulatorBase):
             chunk = p.chunks[i]
             L = chunk.size if self.L == "chunk" else int(self.L)
             L = min(L, n - trials)
-            self._visit(chunk, L)
+            self._visit(chunk, L, i)
             trials += L
         return n

@@ -55,6 +55,8 @@ class NDCA(SimulatorBase):
         else:
             sites = self.rng.permutation(n).astype(np.intp)
         types = draw_types(self.rng, comp.type_cum, n)
+        if self.metrics.enabled:
+            self._record_attempts(types)
         record: list | None = [] if self.trace is not None else None
         t_start = self.time
         run_trials_sequential(

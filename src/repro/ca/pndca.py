@@ -137,10 +137,14 @@ class PNDCA(SimulatorBase):
         return p
 
     # ------------------------------------------------------------------
-    def _visit_chunk(self, chunk: np.ndarray) -> None:
+    def _visit_chunk(self, chunk: np.ndarray, index: int = -1) -> None:
         """One trial per site of the chunk, then advance the time."""
         comp = self.compiled
+        m = self.metrics
         types = draw_types(self.rng, comp.type_cum, chunk.size)
+        if m.enabled:
+            executed0 = int(self.executed_per_type.sum())
+            self._record_attempts(types)
         if self.uses_sequential_fallback:
             # site visiting order follows the chunk's storage order (the
             # paper's pseudo-code does not prescribe one); keeping the
@@ -157,6 +161,14 @@ class PNDCA(SimulatorBase):
             )
         self.n_trials += chunk.size
         self.time += self.time_increment(chunk.size)
+        if m.enabled:
+            executed = int(self.executed_per_type.sum()) - executed0
+            m.inc("pndca.chunk.visits")
+            m.observe("pndca.chunk.size", chunk.size)
+            m.observe("pndca.chunk.occupancy", chunk.size / self.lattice.n_sites)
+            if chunk.size:
+                m.observe("pndca.chunk.utilisation", executed / chunk.size)
+        self.tracer.on_chunk(index, chunk.size, self.time)
         self._notify()
 
     def _chunk_weights(self) -> np.ndarray:
@@ -173,16 +185,15 @@ class PNDCA(SimulatorBase):
         self._step_no += 1
         m = p.m
         if self.strategy == "ordered":
-            schedule = range(m)
-            for i in schedule:
-                self._visit_chunk(p.chunks[i])
+            for i in range(m):
+                self._visit_chunk(p.chunks[i], i)
         elif self.strategy == "random-order":
             for i in self.rng.permutation(m):
-                self._visit_chunk(p.chunks[int(i)])
+                self._visit_chunk(p.chunks[int(i)], int(i))
         elif self.strategy == "random":
             for _ in range(m):
                 i = int(self.rng.integers(0, m))
-                self._visit_chunk(p.chunks[i])
+                self._visit_chunk(p.chunks[i], i)
         else:  # weighted
             for _ in range(m):
                 w = self._chunk_weights()
@@ -192,5 +203,5 @@ class PNDCA(SimulatorBase):
                     i = int(self.rng.integers(0, m))
                 else:
                     i = int(self.rng.choice(m, p=w / total))
-                self._visit_chunk(p.chunks[i])
+                self._visit_chunk(p.chunks[i], i)
         return self.lattice.n_sites

@@ -124,5 +124,14 @@ class TypePartitionedCA(SimulatorBase):
             self.n_trials += chunk.size
             trials += chunk.size
             self.time += self.time_increment(chunk.size)
+            m = self.metrics
+            if m.enabled:
+                # every site of the chunk attempts the one selected type
+                self._attempted_per_type[t_idx] += chunk.size
+                m.inc("typepart.sweeps")
+                m.observe("typepart.sweep.size", chunk.size)
+                if chunk.size:
+                    m.observe("typepart.sweep.utilisation", n_exec / chunk.size)
+            self.tracer.on_chunk(i, chunk.size, self.time)
             self._notify()
         return trials

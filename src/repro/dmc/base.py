@@ -33,6 +33,8 @@ from ..core.lattice import Lattice
 from ..core.model import Model
 from ..core.rng import make_rng
 from ..core.state import Configuration
+from ..obs.metrics import CountingGenerator, MetricsCollector, RunMetrics, current_metrics
+from ..obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["Observer", "CoverageObserver", "SnapshotObserver", "SimulationResult", "SimulatorBase"]
 
@@ -150,6 +152,7 @@ class SimulationResult:
     coverage: dict[str, np.ndarray] = field(default_factory=dict)
     events: EventTrace | None = None
     extra: dict = field(default_factory=dict)
+    metrics: RunMetrics | None = None
 
     @property
     def mc_steps(self) -> float:
@@ -193,6 +196,18 @@ class SimulatorBase(ABC):
         Observers sampled during the run.
     record_events:
         Collect an :class:`EventTrace` of executed reactions.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsCollector` to record run
+        metrics into; defaults to the ambient collector
+        (:func:`repro.obs.metrics.current_metrics` — normally the
+        zero-overhead null object).  When enabled, the run's random
+        generator is wrapped in a transparent draw-counting proxy;
+        the random stream itself is unchanged, so trajectories are
+        bit-identical with metrics on or off.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` receiving the
+        ``on_step``/``on_chunk``/``on_snapshot`` hooks; defaults to
+        the no-op :data:`~repro.obs.trace.NULL_TRACER`.
     """
 
     #: short algorithm label, set by subclasses
@@ -207,6 +222,8 @@ class SimulatorBase(ABC):
         time_mode: str = "stochastic",
         observers: Iterable[Observer] = (),
         record_events: bool = False,
+        metrics: MetricsCollector | None = None,
+        tracer: Tracer | None = None,
     ):
         if time_mode not in ("stochastic", "deterministic"):
             raise ValueError(f"unknown time mode {time_mode!r}")
@@ -230,12 +247,19 @@ class SimulatorBase(ABC):
             self.state = initial.copy()
         self.seed = seed if isinstance(seed, int) or seed is None else None
         self.rng = make_rng(seed)
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.metrics.enabled:
+            # transparent delegating wrapper: same stream, counted draws
+            self.rng = CountingGenerator(self.rng, self.metrics)  # type: ignore[assignment]
         self.time_mode = time_mode
         self.observers = list(observers)
         self.trace = EventTrace() if record_events else None
         self.time = 0.0
         self.n_trials = 0
         self.executed_per_type = np.zeros(model.n_types, dtype=np.int64)
+        #: per-type attempted-trial totals (filled only when metrics on)
+        self._attempted_per_type = np.zeros(model.n_types, dtype=np.int64)
 
         #: rate of the per-trial waiting-time distribution, N * K
         self.nk_rate = lattice.n_sites * self.compiled.total_rate
@@ -261,8 +285,22 @@ class SimulatorBase(ABC):
 
     def _notify(self) -> None:
         """Let observers sample every grid point crossed so far."""
+        tracer = self.tracer
+        if tracer.enabled and self.observers:
+            k0 = sum(o._k for o in self.observers)
+            for obs in self.observers:
+                obs.maybe_sample(self.time, self.state)
+            if sum(o._k for o in self.observers) > k0:
+                tracer.on_snapshot(self.time)
+            return
         for obs in self.observers:
             obs.maybe_sample(self.time, self.state)
+
+    def _record_attempts(self, types: np.ndarray) -> None:
+        """Accumulate per-type attempted-trial counts (metrics path only)."""
+        self._attempted_per_type += np.bincount(
+            types, minlength=self.model.n_types
+        )
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -280,19 +318,49 @@ class SimulatorBase(ABC):
             raise ValueError(f"until={until} is not beyond current time {self.time}")
         for obs in self.observers:
             obs.start(self)
+        m = self.metrics
+        tracer = self.tracer
         wall0 = _wall.perf_counter()
         steps = 0
-        self._notify()
-        while self.time < until:
-            n = self._step_block(until)
+        trials0 = executed0 = 0
+        with m.phase("run"):
             self._notify()
-            steps += 1
-            if n == 0:
-                break  # absorbing state or no work possible
-            if max_steps is not None and steps >= max_steps:
-                break
+            while self.time < until:
+                if m.enabled:
+                    trials0 = self.n_trials
+                    executed0 = self.n_executed
+                n = self._step_block(until)
+                self._notify()
+                steps += 1
+                if m.enabled:
+                    m.inc("steps")
+                    m.inc("trials.attempted", self.n_trials - trials0)
+                    m.inc("trials.executed", self.n_executed - executed0)
+                tracer.on_step(steps, self.time)
+                if n == 0:
+                    break  # absorbing state or no work possible
+                if max_steps is not None and steps >= max_steps:
+                    break
         wall = _wall.perf_counter() - wall0
         return self._result(wall)
+
+    def _finalize_metrics(self) -> RunMetrics | None:
+        """Write derived totals/rates as gauges; return the snapshot."""
+        m = self.metrics
+        if not m.enabled:
+            return None
+        m.set_gauge(
+            "acceptance", self.n_executed / self.n_trials if self.n_trials else 0.0
+        )
+        m.set_gauge("sim.final_time", self.time)
+        for i, rt in enumerate(self.model.reaction_types):
+            attempted = int(self._attempted_per_type[i])
+            executed = int(self.executed_per_type[i])
+            m.set_gauge(f"executed.{rt.name}", executed)
+            if attempted:
+                m.set_gauge(f"attempted.{rt.name}", attempted)
+                m.set_gauge(f"acceptance.{rt.name}", executed / attempted)
+        return m.snapshot()
 
     def _result(self, wall: float) -> SimulationResult:
         data: dict = {}
@@ -313,4 +381,5 @@ class SimulatorBase(ABC):
             coverage=data.pop("coverage", {}),
             events=self.trace,
             extra=data,
+            metrics=self._finalize_metrics(),
         )

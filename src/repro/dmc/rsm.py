@@ -69,6 +69,8 @@ class RSM(SimulatorBase):
         # only trials occurring strictly before `until` happen
         n_use = int(np.searchsorted(times, until, side="left"))
         end_time = until if n_use < n else float(times[-1])
+        if self.metrics.enabled and n_use:
+            self._record_attempts(types[:n_use])
 
         record: list | None = [] if self.trace is not None else None
         # execute in segments split at observer grid times, so that

@@ -49,6 +49,13 @@ from ..core.lattice import Lattice
 from ..core.model import Model
 from ..core.rng import make_rng, spawn_rngs
 from ..core.state import Configuration
+from ..obs.metrics import (
+    CountingGenerator,
+    MetricsCollector,
+    RunMetrics,
+    current_metrics,
+)
+from ..obs.trace import NULL_TRACER, Tracer
 from .result import EnsembleRunResult
 
 __all__ = ["EnsembleBase"]
@@ -80,6 +87,15 @@ class EnsembleBase(ABC):
         :class:`~repro.dmc.base.CoverageObserver` would.
     species:
         Species names to sample (default: all).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsCollector`; defaults to
+        the ambient collector (normally the zero-overhead null
+        object).  When enabled, every replica stream is wrapped in the
+        transparent draw-counting proxy — streams are unchanged, so
+        replicas stay bit-identical to their sequential twins.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` receiving ``on_step`` /
+        ``on_chunk`` hooks; defaults to the no-op null tracer.
     """
 
     #: short algorithm label, set by subclasses
@@ -96,6 +112,8 @@ class EnsembleBase(ABC):
         time_mode: str = "stochastic",
         sample_interval: float | None = None,
         species: tuple[str, ...] | None = None,
+        metrics: MetricsCollector | None = None,
+        tracer: Tracer | None = None,
     ):
         if time_mode not in ("stochastic", "deterministic"):
             raise ValueError(f"unknown time mode {time_mode!r}")
@@ -116,6 +134,13 @@ class EnsembleBase(ABC):
             self.seeds = (None,) * n_replicas
         if not self.rngs:
             raise ValueError("need at least one replica")
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.metrics.enabled:
+            # transparent wrappers: same streams, counted draws
+            self.rngs = [
+                CountingGenerator(rng, self.metrics) for rng in self.rngs  # type: ignore[misc]
+            ]
         r = len(self.rngs)
         self.n_replicas = r
 
@@ -141,6 +166,8 @@ class EnsembleBase(ABC):
         self.times = np.zeros(r, dtype=np.float64)
         self.n_trials = np.zeros(r, dtype=np.int64)
         self.executed_per_type = np.zeros((r, model.n_types), dtype=np.int64)
+        #: per-type attempted totals summed over replicas (metrics only)
+        self._attempted_per_type = np.zeros(model.n_types, dtype=np.int64)
 
         # coverage sampling on a shared uniform grid (one CoverageObserver
         # state machine per replica, vectorised storage)
@@ -165,6 +192,12 @@ class EnsembleBase(ABC):
     def n_executed(self) -> np.ndarray:
         """Executed reactions per replica."""
         return self.executed_per_type.sum(axis=1)
+
+    def _record_attempts(self, types: np.ndarray) -> None:
+        """Accumulate per-type attempted-trial counts (metrics path only)."""
+        self._attempted_per_type += np.bincount(
+            types, minlength=self.model.n_types
+        )
 
     def time_increment(self, r: int, n_trials: int) -> float:
         """Elapsed time for ``n_trials`` of replica ``r`` (cf. SimulatorBase)."""
@@ -217,18 +250,54 @@ class EnsembleBase(ABC):
             raise ValueError(
                 f"until={until} is not beyond current time {self.times.min()}"
             )
+        m = self.metrics
+        tracer = self.tracer
         wall0 = _wall.perf_counter()
-        for r in range(self.n_replicas):
-            self._sample_crossed(r)
-        while True:
-            active = np.flatnonzero(self.times < until)
-            if active.size == 0:
-                break
-            n = self._step_block(until, active)
-            if n == 0:
-                break  # absorbing state or no work possible
+        steps = 0
+        executed0 = 0
+        with m.phase("run"):
+            for r in range(self.n_replicas):
+                self._sample_crossed(r)
+            while True:
+                active = np.flatnonzero(self.times < until)
+                if active.size == 0:
+                    break
+                if m.enabled:
+                    executed0 = int(self.executed_per_type.sum())
+                n = self._step_block(until, active)
+                steps += 1
+                if m.enabled:
+                    m.inc("steps")
+                    m.inc("trials.attempted", n)
+                    m.inc(
+                        "trials.executed",
+                        int(self.executed_per_type.sum()) - executed0,
+                    )
+                    m.observe("ensemble.active_replicas", active.size)
+                tracer.on_step(steps, float(self.times.min()))
+                if n == 0:
+                    break  # absorbing state or no work possible
         wall = _wall.perf_counter() - wall0
         return self._result(wall)
+
+    def _finalize_metrics(self) -> RunMetrics | None:
+        """Write derived totals/rates as gauges; return the snapshot."""
+        m = self.metrics
+        if not m.enabled:
+            return None
+        trials = int(self.n_trials.sum())
+        executed = int(self.executed_per_type.sum())
+        m.set_gauge("acceptance", executed / trials if trials else 0.0)
+        m.set_gauge("ensemble.n_replicas", self.n_replicas)
+        per_type_exec = self.executed_per_type.sum(axis=0)
+        for i, rt in enumerate(self.model.reaction_types):
+            attempted = int(self._attempted_per_type[i])
+            exec_i = int(per_type_exec[i])
+            m.set_gauge(f"executed.{rt.name}", exec_i)
+            if attempted:
+                m.set_gauge(f"attempted.{rt.name}", attempted)
+                m.set_gauge(f"acceptance.{rt.name}", exec_i / attempted)
+        return m.snapshot()
 
     def _result(self, wall: float) -> EnsembleRunResult:
         if self.sample_interval is not None:
@@ -262,4 +331,5 @@ class EnsembleBase(ABC):
             species=self.model.species,
             sample_times=sample_times,
             coverage=coverage,
+            metrics=self._finalize_metrics(),
         )

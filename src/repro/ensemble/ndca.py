@@ -47,6 +47,7 @@ class EnsembleNDCA(EnsembleBase):
             "self.executed_per_type",
             "self.times",
             "self.n_trials",
+            "self._attempted_per_type",
         ),
         caches=("self.compiled",),
         disjoint=("active",),
@@ -77,6 +78,8 @@ class EnsembleNDCA(EnsembleBase):
             else:
                 sites_blk[r] = rng.permutation(n).astype(np.intp)
             types_blk[r] = draw_types(rng, comp.type_cum, n)
+            if self.metrics.enabled:
+                self._record_attempts(types_blk[r])
         if self.order == "raster":
             for r in active:
                 run_trials_sequential(

@@ -146,12 +146,13 @@ class EnsemblePNDCA(EnsembleBase):
         return cached
 
     @kernel(
-        reads=("self", "chunk", "active"),
+        reads=("self", "chunk", "active", "index"),
         writes=(
             "self.states",
             "self.executed_per_type",
             "self.n_trials",
             "self.times",
+            "self._attempted_per_type",
         ),
         caches=("self.compiled", "self._stream_cache"),
         disjoint=("chunk", "active"),
@@ -170,9 +171,12 @@ class EnsemblePNDCA(EnsembleBase):
             "self.executed_per_type": "int64",
         },
     )
-    def _visit_chunk(self, chunk: np.ndarray, active: np.ndarray) -> None:
+    def _visit_chunk(
+        self, chunk: np.ndarray, active: np.ndarray, index: int = -1
+    ) -> None:
         """One trial per chunk site per active replica, in one batch."""
         comp = self.compiled
+        m = self.metrics
         c = chunk.size
         a = active.size
         # one uniform block per replica (the sequential draw order),
@@ -181,6 +185,9 @@ class EnsemblePNDCA(EnsembleBase):
         for i, r in enumerate(active):
             u[i * c : (i + 1) * c] = self.rngs[r].random(c)
         btypes = types_from_uniforms(comp.type_cum, u)
+        if m.enabled:
+            executed0 = int(self.executed_per_type.sum())
+            self._record_attempts(btypes)
         reps, bsites = self._chunk_streams(chunk, active)
         run_trials_stacked(
             self.states, comp, reps, bsites, btypes,
@@ -190,6 +197,14 @@ class EnsemblePNDCA(EnsembleBase):
             self.n_trials[r] += c
             self.times[r] += self.time_increment(r, c)
             self._sample_crossed(r)
+        if m.enabled:
+            executed = int(self.executed_per_type.sum()) - executed0
+            m.inc("pndca.chunk.visits")
+            m.observe("pndca.chunk.size", c)
+            m.observe("pndca.chunk.occupancy", c / self.lattice.n_sites)
+            if a * c:
+                m.observe("pndca.chunk.utilisation", executed / (a * c))
+        self.tracer.on_chunk(index, c, float(self.times.min()))
 
     @kernel(
         reads=("self", "until", "active"),
@@ -200,6 +215,7 @@ class EnsemblePNDCA(EnsembleBase):
             "self.times",
             "self.partition",
             "self._step_no",
+            "self._attempted_per_type",
         ),
         caches=("self.compiled", "self._stream_cache"),
         disjoint=("active",),
@@ -216,5 +232,5 @@ class EnsemblePNDCA(EnsembleBase):
         else:  # random
             schedule = self.schedule_rng.integers(0, m, size=m)
         for i in schedule:
-            self._visit_chunk(p.chunks[int(i)], active)
+            self._visit_chunk(p.chunks[int(i)], active, int(i))
         return self.lattice.n_sites * active.size

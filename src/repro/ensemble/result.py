@@ -10,6 +10,7 @@ from ..core.lattice import Lattice
 from ..core.species import SpeciesRegistry
 from ..core.state import Configuration
 from ..dmc.base import SimulationResult
+from ..obs.metrics import RunMetrics
 
 __all__ = ["EnsembleRunResult"]
 
@@ -39,6 +40,7 @@ class EnsembleRunResult:
     species: SpeciesRegistry
     sample_times: np.ndarray = field(default_factory=lambda: np.empty(0))
     coverage: dict[str, np.ndarray] = field(default_factory=dict)
+    metrics: RunMetrics | None = None
 
     # ------------------------------------------------------------------
     @property

@@ -49,6 +49,7 @@ class EnsembleRSM(EnsembleBase):
             "self.executed_per_type",
             "self.times",
             "self.n_trials",
+            "self._attempted_per_type",
         ),
         caches=("self.compiled",),
         disjoint=("active",),
@@ -92,6 +93,8 @@ class EnsembleRSM(EnsembleBase):
             k_use = int(np.searchsorted(times_r, until, side="left"))
             n_use[r] = k_use
             end_time[r] = until if k_use < n else float(times_r[-1])
+            if self.metrics.enabled and k_use:
+                self._record_attempts(types_blk[r][:k_use])
             if self.sample_interval is not None:
                 k = int(self._sample_k[r])
                 while k * self.sample_interval <= end_time[r]:

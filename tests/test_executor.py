@@ -58,6 +58,69 @@ class TestExecutor:
             ParallelChunkExecutor(ziff, lat, n_workers=0)
 
 
+class TestExecutorTeardown:
+    """Regression tests for the init-leak and stale-view bugs."""
+
+    def test_failed_init_releases_shared_memory(self, ziff, setup, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.parallel import executor as executor_mod
+
+        lat, _ = setup
+        created: list[str] = []
+        real_shm = shared_memory.SharedMemory
+
+        def recording_shm(*args, **kwargs):
+            shm = real_shm(*args, **kwargs)
+            if kwargs.get("create") or (args and args[0] is None):
+                created.append(shm.name)
+            return shm
+
+        monkeypatch.setattr(
+            executor_mod.shared_memory, "SharedMemory", recording_shm
+        )
+        # an unknown start method makes mp.get_context raise after the
+        # segment has been created — the buggy __init__ leaked it
+        with pytest.raises(ValueError):
+            ParallelChunkExecutor(ziff, lat, n_workers=1, context="no-such-method")
+        assert len(created) == 1
+        # the segment must be unlinked: re-attaching by name must fail
+        with pytest.raises(FileNotFoundError):
+            real_shm(name=created[0])
+
+    def test_state_access_raises_after_close(self, ziff, setup):
+        lat, _ = setup
+        ex = ParallelChunkExecutor(ziff, lat, n_workers=1)
+        ex.close()
+        # reading a view of the unlinked buffer would crash the
+        # interpreter; every access path must raise instead
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.state
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.load_state(np.zeros(lat.n_sites, dtype=np.uint8))
+
+    def test_close_tolerates_partial_construction(self, ziff, setup):
+        lat, _ = setup
+        ex = ParallelChunkExecutor.__new__(ParallelChunkExecutor)
+        ex.close()  # no _pool/_shm/_closed attributes: must not raise
+
+    def test_del_after_failed_init_is_silent(self, ziff, setup):
+        lat, _ = setup
+        ex = ParallelChunkExecutor.__new__(ParallelChunkExecutor)
+        ex.__del__()
+
+    def test_close_is_idempotent_and_releases(self, ziff, setup):
+        from multiprocessing import shared_memory
+
+        lat, _ = setup
+        ex = ParallelChunkExecutor(ziff, lat, n_workers=1)
+        name = ex._shm.name
+        ex.close()
+        ex.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
 class TestParallelPNDCA:
     def test_bit_identical_to_serial(self, ziff, setup):
         lat, p5 = setup
@@ -99,3 +162,31 @@ class TestParallelPNDCA:
         with ParallelChunkExecutor(ziff, Lattice((20, 20)), n_workers=1) as ex:
             with pytest.raises(ValueError, match="different lattice"):
                 ParallelPNDCA(ziff, lat, seed=0, partition=p5, executor=ex)
+
+    def test_metrics_shared_and_bit_identical(self, ziff, setup):
+        from repro.obs import MetricsCollector
+
+        lat, p5 = setup
+        serial = PNDCA(ziff, lat, seed=7, partition=p5, strategy="ordered")
+        rs = serial.run(until=3.0)
+        m = MetricsCollector()
+        with ParallelChunkExecutor(ziff, lat, n_workers=2) as ex:
+            par = ParallelPNDCA(
+                ziff, lat, seed=7, partition=p5, strategy="ordered",
+                executor=ex, metrics=m,
+            )
+            assert ex.metrics is m  # the run's collector is shared
+            rp = par.run(until=3.0)
+        # instrumentation must not perturb the trajectory
+        assert np.array_equal(rs.final_state.array, rp.final_state.array)
+        assert rs.n_executed == rp.n_executed
+        snap = m.snapshot()
+        assert snap.counters["trials.executed"] == rp.n_executed
+        assert snap.counters["trials.attempted"] == rp.n_trials
+        assert snap.counters["executor.chunks"] == snap.counters["pndca.chunk.visits"]
+        # per-worker slice timings aggregated at the barrier: with 2
+        # workers every non-trivial chunk contributes 2 slice timings
+        assert (
+            snap.histograms["executor.slice.wall"].count
+            >= snap.histograms["executor.chunk.wall"].count
+        )
