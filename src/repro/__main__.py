@@ -32,18 +32,48 @@ import sys
 
 def _cmd_list(_args) -> int:
     import repro.experiments as experiments
+    from repro.resilience.runs import RUNS
 
     print("experiments (python -m repro run <id>):")
     for key in sorted(experiments.REGISTRY):
         module, _ = experiments.REGISTRY[key]
         doc = (module.__doc__ or "").strip().splitlines()[0]
         print(f"  {key:<22s} {doc}")
+    print()
+    print("resilience runs (checkpoint/resume-capable):")
+    for key in sorted(RUNS):
+        _, doc = RUNS[key]
+        print(f"  {key:<22s} {doc}")
     return 0
 
 
 def _cmd_run(args) -> int:
     import repro.experiments as experiments
+    from repro.resilience.runs import RUNS, run_resilience
 
+    if args.experiment in RUNS:
+        from repro.resilience.checkpoint import ResilienceError
+
+        try:
+            return run_resilience(
+                args.experiment,
+                seed=args.seed,
+                until=args.until,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_seconds=args.checkpoint_seconds,
+                resume=args.resume,
+            )
+        except ResilienceError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    if args.resume is not None or args.checkpoint_dir is not None:
+        print(
+            f"checkpoint/resume options only apply to resilience runs "
+            f"({', '.join(sorted(RUNS))}), not experiment {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
     if args.metrics:
         from repro.obs import MetricsCollector, format_metrics, use_metrics
 
@@ -108,11 +138,36 @@ def main(argv: list[str] | None = None) -> int:
         fn=_cmd_list
     )
     p_run = sub.add_parser("run", help="run one experiment and print its report")
-    p_run.add_argument("experiment", help="experiment id (see 'list')")
+    p_run.add_argument("experiment", help="experiment or resilience run id (see 'list')")
     p_run.add_argument(
         "--metrics",
         action="store_true",
         help="collect and print run metrics (counters/gauges/histograms)",
+    )
+    p_run.add_argument(
+        "--until", type=float, default=5.0,
+        help="simulated-time horizon (resilience runs only, default 5)",
+    )
+    p_run.add_argument(
+        "--seed", type=int, default=0,
+        help="engine seed (resilience runs only, default 0)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write repro.ckpt/1 checkpoints into DIR (resilience runs only)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, metavar="N",
+        help="checkpoint every N step blocks (default 10 when DIR is set)",
+    )
+    p_run.add_argument(
+        "--checkpoint-seconds", type=float, metavar="T",
+        help="checkpoint every T wall seconds instead of (or besides) every N steps",
+    )
+    p_run.add_argument(
+        "--resume", nargs="?", const="", metavar="PATH",
+        help="resume from a checkpoint file, a directory's newest good "
+        "checkpoint, or (bare) from --checkpoint-dir",
     )
     p_run.set_defaults(fn=_cmd_run)
     sub.add_parser("algorithms", help="print the algorithm taxonomy").set_defaults(

@@ -119,6 +119,14 @@ class PNDCA(SimulatorBase):
                 f"{len(partitions)} partitions/{partition_schedule}]"
             )
 
+    def _extra_checkpoint_state(self) -> dict:
+        """The partition-cycle counter (drives the ``"cycle"`` schedule)."""
+        return {"step_no": self._step_no}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Restore the partition-cycle counter."""
+        self._step_no = int(extra.get("step_no", 0))
+
     def _choose_partition(self) -> Partition:
         """The paper's 'choose a partition P' step.
 

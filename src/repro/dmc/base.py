@@ -76,6 +76,21 @@ class Observer(ABC):
     def data(self) -> dict:
         """Collected data as plain arrays (merged into the result)."""
 
+    # -- checkpoint support --------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the observer's mutable state.
+
+        Subclasses that accumulate data extend the dict; restoring it
+        via :meth:`load_state_dict` makes a resumed run's result carry
+        the *complete* sampled series, identical to an uninterrupted
+        run (asserted in ``tests/test_resilience.py``).
+        """
+        return {"k": self._k}
+
+    def load_state_dict(self, d: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._k = int(d["k"])
+
 
 class CoverageObserver(Observer):
     """Records species coverages theta_X(t) on a uniform time grid."""
@@ -112,6 +127,20 @@ class CoverageObserver(Observer):
         cov = {n: block[:, i] for i, n in enumerate(self._names)}
         return {"times": times, "coverage": cov}
 
+    def state_dict(self) -> dict:
+        """Sampled rows included, so a resumed series is complete."""
+        return {
+            "k": self._k,
+            "times": list(self._times),
+            "rows": [row.tolist() for row in self._rows],
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        """Restore counter plus the already-sampled coverage rows."""
+        self._k = int(d["k"])
+        self._times = [float(t) for t in d["times"]]
+        self._rows = [np.asarray(row, dtype=np.float64) for row in d["rows"]]
+
 
 class SnapshotObserver(Observer):
     """Stores full configuration snapshots on a time grid (small lattices)."""
@@ -132,6 +161,20 @@ class SnapshotObserver(Observer):
             "snapshot_times": np.array(self._times),
             "snapshots": np.array(self._states) if self._states else np.empty((0, 0)),
         }
+
+    def state_dict(self) -> dict:
+        """Stored snapshots included, so a resumed series is complete."""
+        return {
+            "k": self._k,
+            "times": list(self._times),
+            "states": [s.tolist() for s in self._states],
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        """Restore counter plus the already-stored snapshots."""
+        self._k = int(d["k"])
+        self._times = [float(t) for t in d["times"]]
+        self._states = [np.asarray(s, dtype=np.uint8) for s in d["states"]]
 
 
 @dataclass
@@ -303,6 +346,101 @@ class SimulatorBase(ABC):
         )
 
     # ------------------------------------------------------------------
+    # checkpoint / resume (see repro.resilience.checkpoint, DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _extra_checkpoint_state(self) -> dict:
+        """Algorithm-specific mutable state (JSON-safe); default none.
+
+        Subclasses with run-loop state beyond the base fields override
+        this together with :meth:`_restore_extra` (e.g. PNDCA's
+        partition-cycle counter).
+        """
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Restore the dict produced by :meth:`_extra_checkpoint_state`."""
+
+    def checkpoint_payload(self) -> dict:
+        """Everything ``run()`` mutates, as a JSON-safe ``repro.ckpt/1`` payload."""
+        from ..resilience.checkpoint import (
+            encode_array,
+            engine_fingerprint,
+            rng_state,
+        )
+
+        return {
+            "kind": "simulator",
+            "algorithm": self.algorithm,
+            "model": self.model.name,
+            "lattice": list(self.lattice.shape),
+            "time_mode": self.time_mode,
+            "fingerprint": engine_fingerprint(self),
+            "seed": self.seed,
+            "time": float(self.time),
+            "n_trials": int(self.n_trials),
+            "executed_per_type": [int(x) for x in self.executed_per_type],
+            "attempted_per_type": [int(x) for x in self._attempted_per_type],
+            "state": encode_array(self.state.array),
+            "rng": rng_state(self.rng),
+            "extra": self._extra_checkpoint_state(),
+            "observers": [o.state_dict() for o in self.observers],
+        }
+
+    def restore_payload(self, payload: dict) -> None:
+        """Restore a checkpoint payload into this (matching) engine."""
+        from ..resilience.checkpoint import (
+            CheckpointMismatchError,
+            decode_array,
+            engine_fingerprint,
+            restore_rng_state,
+        )
+
+        if payload.get("kind") != "simulator":
+            raise CheckpointMismatchError(
+                f"checkpoint kind {payload.get('kind')!r} cannot restore "
+                f"into a sequential simulator"
+            )
+        fp = engine_fingerprint(self)
+        if payload.get("fingerprint") != fp:
+            raise CheckpointMismatchError(
+                f"checkpoint fingerprint {payload.get('fingerprint')!r} does "
+                f"not match this engine ({fp}: {self.algorithm} / "
+                f"{self.model.name} / {self.lattice.shape}) — it was taken "
+                f"from a different model, lattice or algorithm configuration"
+            )
+        array = decode_array(payload["state"])
+        self.state.array[:] = array  # in place: keeps shared-memory views
+        self.time = float(payload["time"])
+        self.n_trials = int(payload["n_trials"])
+        self.executed_per_type[:] = payload["executed_per_type"]
+        self._attempted_per_type[:] = payload["attempted_per_type"]
+        restore_rng_state(self.rng, payload["rng"])
+        self._restore_extra(payload.get("extra", {}))
+        obs_states = payload.get("observers", [])
+        if obs_states:
+            if len(obs_states) != len(self.observers):
+                raise CheckpointMismatchError(
+                    f"checkpoint carries {len(obs_states)} observer states, "
+                    f"engine has {len(self.observers)} observers"
+                )
+            for obs, d in zip(self.observers, obs_states):
+                obs.load_state_dict(d)
+
+    def resume(self, path) -> "SimulatorBase":
+        """Restore from a checkpoint file; returns ``self``.
+
+        Construct the engine exactly as for the original run (model,
+        lattice, partition, strategy, observers — the seed is
+        irrelevant, the restored bit-generator state replaces it), then
+        resume and continue with ``run(until=...)``: the continuation
+        is bit-identical to the uninterrupted run.
+        """
+        from ..resilience.checkpoint import load_checkpoint
+
+        self.restore_payload(load_checkpoint(path))
+        return self
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def _step_block(self, until: float) -> int:
         """Advance by one unit of work, not (far) beyond ``until``.
@@ -312,10 +450,26 @@ class SimulatorBase(ABC):
         trials attempted (0 signals that no progress is possible).
         """
 
-    def run(self, until: float, max_steps: int | None = None) -> SimulationResult:
-        """Simulate until the given simulation time (or ``max_steps`` blocks)."""
+    def run(
+        self,
+        until: float,
+        max_steps: int | None = None,
+        checkpoint=None,
+    ) -> SimulationResult:
+        """Simulate until the given simulation time (or ``max_steps`` blocks).
+
+        ``checkpoint`` is an optional
+        :class:`~repro.resilience.checkpoint.Checkpointer`; when omitted
+        the ambient one installed by
+        :func:`~repro.resilience.checkpoint.use_checkpoints` (if any)
+        is used.  Checkpoints are written at step-block boundaries —
+        the consistent points of every algorithm.
+        """
         if until <= self.time:
             raise ValueError(f"until={until} is not beyond current time {self.time}")
+        from ..resilience.checkpoint import current_checkpointer
+
+        ckpt = checkpoint if checkpoint is not None else current_checkpointer()
         for obs in self.observers:
             obs.start(self)
         m = self.metrics
@@ -323,24 +477,32 @@ class SimulatorBase(ABC):
         wall0 = _wall.perf_counter()
         steps = 0
         trials0 = executed0 = 0
-        with m.phase("run"):
-            self._notify()
-            while self.time < until:
-                if m.enabled:
-                    trials0 = self.n_trials
-                    executed0 = self.n_executed
-                n = self._step_block(until)
+        if ckpt is not None:
+            ckpt.start(self)
+        try:
+            with m.phase("run"):
                 self._notify()
-                steps += 1
-                if m.enabled:
-                    m.inc("steps")
-                    m.inc("trials.attempted", self.n_trials - trials0)
-                    m.inc("trials.executed", self.n_executed - executed0)
-                tracer.on_step(steps, self.time)
-                if n == 0:
-                    break  # absorbing state or no work possible
-                if max_steps is not None and steps >= max_steps:
-                    break
+                while self.time < until:
+                    if m.enabled:
+                        trials0 = self.n_trials
+                        executed0 = self.n_executed
+                    n = self._step_block(until)
+                    self._notify()
+                    steps += 1
+                    if m.enabled:
+                        m.inc("steps")
+                        m.inc("trials.attempted", self.n_trials - trials0)
+                        m.inc("trials.executed", self.n_executed - executed0)
+                    tracer.on_step(steps, self.time)
+                    if ckpt is not None:
+                        ckpt.after_step(self)
+                    if n == 0:
+                        break  # absorbing state or no work possible
+                    if max_steps is not None and steps >= max_steps:
+                        break
+        finally:
+            if ckpt is not None:
+                ckpt.finish(self)
         wall = _wall.perf_counter() - wall0
         return self._result(wall)
 

@@ -234,6 +234,94 @@ class EnsembleBase(ABC):
             self._sample_replica(r)
 
     # ------------------------------------------------------------------
+    # checkpoint / resume (see repro.resilience.checkpoint, DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _extra_checkpoint_state(self) -> dict:
+        """Algorithm-specific mutable state (JSON-safe); default none."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Restore the dict produced by :meth:`_extra_checkpoint_state`."""
+
+    def checkpoint_payload(self) -> dict:
+        """Everything ``run()`` mutates, as a JSON-safe ``repro.ckpt/1`` payload."""
+        from ..resilience.checkpoint import (
+            encode_array,
+            engine_fingerprint,
+            rng_state,
+        )
+
+        return {
+            "kind": "ensemble",
+            "algorithm": self.algorithm,
+            "model": self.model.name,
+            "lattice": list(self.lattice.shape),
+            "time_mode": self.time_mode,
+            "fingerprint": engine_fingerprint(self),
+            "n_replicas": self.n_replicas,
+            "times": [float(t) for t in self.times],
+            "n_trials": [int(x) for x in self.n_trials],
+            "executed_per_type": encode_array(self.executed_per_type),
+            "attempted_per_type": [int(x) for x in self._attempted_per_type],
+            "states": encode_array(self.states),
+            "rngs": [rng_state(rng) for rng in self.rngs],
+            "sample_k": [int(k) for k in self._sample_k],
+            "sample_rows": [
+                [row.tolist() for row in rows] for rows in self._sample_rows
+            ],
+            "extra": self._extra_checkpoint_state(),
+        }
+
+    def restore_payload(self, payload: dict) -> None:
+        """Restore a checkpoint payload into this (matching) engine."""
+        from ..resilience.checkpoint import (
+            CheckpointMismatchError,
+            decode_array,
+            engine_fingerprint,
+            restore_rng_state,
+        )
+
+        if payload.get("kind") != "ensemble":
+            raise CheckpointMismatchError(
+                f"checkpoint kind {payload.get('kind')!r} cannot restore "
+                f"into an ensemble engine"
+            )
+        fp = engine_fingerprint(self)
+        if payload.get("fingerprint") != fp:
+            raise CheckpointMismatchError(
+                f"checkpoint fingerprint {payload.get('fingerprint')!r} does "
+                f"not match this engine ({fp}: {self.algorithm} / "
+                f"{self.model.name} / {self.lattice.shape}, "
+                f"R={self.n_replicas}) — it was taken from a different "
+                f"model, lattice, algorithm or replica-count configuration"
+            )
+        self.states[:] = decode_array(payload["states"])
+        self.times[:] = payload["times"]
+        self.n_trials[:] = payload["n_trials"]
+        self.executed_per_type[:] = decode_array(payload["executed_per_type"])
+        self._attempted_per_type[:] = payload["attempted_per_type"]
+        for rng, record in zip(self.rngs, payload["rngs"]):
+            restore_rng_state(rng, record)
+        self._sample_k[:] = payload["sample_k"]
+        self._sample_rows = [
+            [np.asarray(row, dtype=np.float64) for row in rows]
+            for rows in payload["sample_rows"]
+        ]
+        self._restore_extra(payload.get("extra", {}))
+
+    def resume(self, path) -> "EnsembleBase":
+        """Restore from a checkpoint file; returns ``self``.
+
+        Construct the engine exactly as for the original run, then
+        resume and continue with ``run(until=...)``: the continuation
+        is bit-identical to the uninterrupted run.
+        """
+        from ..resilience.checkpoint import load_checkpoint
+
+        self.restore_payload(load_checkpoint(path))
+        return self
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def _step_block(self, until: float, active: np.ndarray) -> int:
         """Advance the ``active`` replicas by one unit of work.
@@ -244,39 +332,57 @@ class EnsembleBase(ABC):
         signals that no progress is possible).
         """
 
-    def run(self, until: float) -> EnsembleRunResult:
-        """Simulate every replica until the given simulation time."""
+    def run(self, until: float, checkpoint=None) -> EnsembleRunResult:
+        """Simulate every replica until the given simulation time.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.resilience.checkpoint.Checkpointer`; when omitted
+        the ambient one installed by
+        :func:`~repro.resilience.checkpoint.use_checkpoints` (if any)
+        is used.
+        """
         if until <= float(self.times.min()):
             raise ValueError(
                 f"until={until} is not beyond current time {self.times.min()}"
             )
+        from ..resilience.checkpoint import current_checkpointer
+
+        ckpt = checkpoint if checkpoint is not None else current_checkpointer()
         m = self.metrics
         tracer = self.tracer
         wall0 = _wall.perf_counter()
         steps = 0
         executed0 = 0
-        with m.phase("run"):
-            for r in range(self.n_replicas):
-                self._sample_crossed(r)
-            while True:
-                active = np.flatnonzero(self.times < until)
-                if active.size == 0:
-                    break
-                if m.enabled:
-                    executed0 = int(self.executed_per_type.sum())
-                n = self._step_block(until, active)
-                steps += 1
-                if m.enabled:
-                    m.inc("steps")
-                    m.inc("trials.attempted", n)
-                    m.inc(
-                        "trials.executed",
-                        int(self.executed_per_type.sum()) - executed0,
-                    )
-                    m.observe("ensemble.active_replicas", active.size)
-                tracer.on_step(steps, float(self.times.min()))
-                if n == 0:
-                    break  # absorbing state or no work possible
+        if ckpt is not None:
+            ckpt.start(self)
+        try:
+            with m.phase("run"):
+                for r in range(self.n_replicas):
+                    self._sample_crossed(r)
+                while True:
+                    active = np.flatnonzero(self.times < until)
+                    if active.size == 0:
+                        break
+                    if m.enabled:
+                        executed0 = int(self.executed_per_type.sum())
+                    n = self._step_block(until, active)
+                    steps += 1
+                    if m.enabled:
+                        m.inc("steps")
+                        m.inc("trials.attempted", n)
+                        m.inc(
+                            "trials.executed",
+                            int(self.executed_per_type.sum()) - executed0,
+                        )
+                        m.observe("ensemble.active_replicas", active.size)
+                    tracer.on_step(steps, float(self.times.min()))
+                    if ckpt is not None:
+                        ckpt.after_step(self)
+                    if n == 0:
+                        break  # absorbing state or no work possible
+        finally:
+            if ckpt is not None:
+                ckpt.finish(self)
         wall = _wall.perf_counter() - wall0
         return self._result(wall)
 

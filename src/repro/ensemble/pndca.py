@@ -100,6 +100,23 @@ class EnsemblePNDCA(EnsembleBase):
                 f"{len(partitions)} partitions/{partition_schedule}]"
             )
 
+    def _extra_checkpoint_state(self) -> dict:
+        """Cycle counter plus the shared schedule generator's state."""
+        from ..resilience.checkpoint import rng_state
+
+        return {
+            "step_no": self._step_no,
+            "schedule_rng": rng_state(self.schedule_rng),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Restore the cycle counter and the schedule generator."""
+        from ..resilience.checkpoint import restore_rng_state
+
+        self._step_no = int(extra.get("step_no", 0))
+        if "schedule_rng" in extra:
+            restore_rng_state(self.schedule_rng, extra["schedule_rng"])
+
     @kernel(reads=("self",), writes=("self.partition",))
     def _choose_partition(self) -> Partition:
         """Shared 'choose a partition P' step (one choice for all replicas)."""

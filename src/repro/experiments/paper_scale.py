@@ -17,7 +17,8 @@ of figures runs in well under an hour.
 
 from __future__ import annotations
 
-import sys
+import argparse
+from contextlib import nullcontext
 from pathlib import Path
 
 from . import fig8_limits, fig9_l_effect, fig10_random_order
@@ -40,8 +41,17 @@ def run_paper_scale(
     side: int = PAPER_SIDE,
     until: float = PAPER_UNTIL,
     out_dir: str | Path = "paper_scale_results",
+    checkpoint_dir: str | Path | None = None,
 ) -> dict[str, str]:
-    """Run the selected figures at paper scale; returns id -> report."""
+    """Run the selected figures at paper scale; returns id -> report.
+
+    ``checkpoint_dir`` makes the overnight runs interruptible: every
+    engine ``run()`` inside the loop checkpoints there periodically
+    (``repro.ckpt/1`` files, one tag per figure), and SIGINT/SIGTERM
+    flush a final checkpoint at the next step boundary before exiting —
+    Ctrl-C or a batch-scheduler kill costs at most one checkpoint
+    interval, not the whole night.
+    """
     keys = [which] if which else list(_RUNNERS)
     unknown = [k for k in keys if k not in _RUNNERS]
     if unknown:
@@ -50,8 +60,25 @@ def run_paper_scale(
     out_path = Path(out_dir)
     out_path.mkdir(exist_ok=True)
     for key in keys:
+        if checkpoint_dir is not None:
+            from ..resilience.checkpoint import (
+                Checkpointer,
+                CheckpointPolicy,
+                use_checkpoints,
+            )
+
+            ctx = use_checkpoints(
+                Checkpointer(
+                    Path(checkpoint_dir),
+                    CheckpointPolicy(every_steps=None, every_seconds=30.0),
+                    tag=key,
+                )
+            )
+        else:
+            ctx = nullcontext()
         run, report = _RUNNERS[key]
-        result = run(side=side, until=until)
+        with ctx:
+            result = run(side=side, until=until)
         text = report(result)
         (out_path / f"{key}.txt").write_text(text + "\n")
         out[key] = text
@@ -59,7 +86,19 @@ def run_paper_scale(
 
 
 if __name__ == "__main__":
-    which = sys.argv[1] if len(sys.argv) > 1 else None
-    for key, text in run_paper_scale(which).items():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("which", nargs="?", help="one of fig8/fig9/fig10 (default all)")
+    parser.add_argument("--side", type=int, default=PAPER_SIDE)
+    parser.add_argument("--until", type=float, default=PAPER_UNTIL)
+    parser.add_argument("--out-dir", default="paper_scale_results")
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="periodic repro.ckpt/1 checkpoints + SIGINT/SIGTERM final flush",
+    )
+    a = parser.parse_args()
+    for key, text in run_paper_scale(
+        a.which, side=a.side, until=a.until,
+        out_dir=a.out_dir, checkpoint_dir=a.checkpoint_dir,
+    ).items():
         print(text)
         print()

@@ -159,6 +159,7 @@ def run_phase_diagram(
     seed: int = 0,
     rsm_check_ys: tuple[float, ...] = (0.45,),
     n_replicas: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> PhaseDiagram:
     """Sweep y with PNDCA; verify selected points with RSM.
 
@@ -166,6 +167,10 @@ def run_phase_diagram(
     engine: each coverage becomes a mean over that many independent
     replicas (with stderr on the :class:`PhasePoint`), at far less than
     ``n_replicas`` times the single-run cost.
+
+    ``checkpoint_dir`` makes the sweep interruptible: each y point's
+    engine run checkpoints there periodically, and SIGINT/SIGTERM flush
+    a final checkpoint at the next step boundary before exiting.
     """
     if ys is None:
         ys = np.concatenate(
@@ -173,6 +178,22 @@ def run_phase_diagram(
                 np.arange(0.30, 0.60 + 1e-9, 0.025),
             ]
         )
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import (
+            Checkpointer,
+            CheckpointPolicy,
+            use_checkpoints,
+        )
+
+        ckpt = Checkpointer(
+            checkpoint_dir,
+            CheckpointPolicy(every_steps=None, every_seconds=30.0),
+            tag="phase-diagram",
+        )
+        with use_checkpoints(ckpt):
+            return run_phase_diagram(
+                ys, side, until, seed, rsm_check_ys, n_replicas, None
+            )
     out = PhaseDiagram()
     for y in ys:
         out.points.append(
@@ -225,4 +246,19 @@ def phase_diagram_report(diagram: PhaseDiagram | None = None) -> str:
 
 
 if __name__ == "__main__":
-    print(phase_diagram_report())
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--side", type=int, default=50)
+    parser.add_argument("--until", type=float, default=150.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="periodic repro.ckpt/1 checkpoints + SIGINT/SIGTERM final flush",
+    )
+    a = parser.parse_args()
+    print(phase_diagram_report(run_phase_diagram(
+        side=a.side, until=a.until, seed=a.seed,
+        n_replicas=a.replicas, checkpoint_dir=a.checkpoint_dir,
+    )))

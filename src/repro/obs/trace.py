@@ -16,7 +16,11 @@ Hook points (wired by the engines):
     after every chunk visit (PNDCA / L-PNDCA / type-partitioned CA /
     ensemble PNDCA / parallel executor);
 ``on_snapshot(sim_time)``
-    whenever at least one observer sampled a grid point.
+    whenever at least one observer sampled a grid point;
+``on_recovery(kind, detail)``
+    whenever the fault-tolerant executor walks a rung of its recovery
+    ladder (chunk retry, pool respawn, serial fallback) — recorded
+    with ``sim_time = -1`` since recovery happens between trials.
 
 Events are recorded as plain tuples; :meth:`Tracer.to_records` renders
 them JSON-ready for the :func:`repro.obs.emit.append_jsonl` emitter.
@@ -105,6 +109,12 @@ class Tracer:
         """At least one observer sampled at ``sim_time``."""
         self.events.append(("snapshot", time.perf_counter(), sim_time, {}))
 
+    def on_recovery(self, kind: str, detail: dict | None = None) -> None:
+        """A fault-recovery action ran (retry / respawn / fallback)."""
+        self.events.append(
+            ("recovery", time.perf_counter(), -1.0, {"recovery": kind, **(detail or {})})
+        )
+
     # -- export --------------------------------------------------------
     def to_records(self) -> list[dict]:
         """Spans + events as JSON-ready dicts (for the jsonl emitter)."""
@@ -138,6 +148,9 @@ class NullTracer(Tracer):
         """No-op."""
 
     def on_snapshot(self, sim_time: float) -> None:
+        """No-op."""
+
+    def on_recovery(self, kind: str, detail: dict | None = None) -> None:
         """No-op."""
 
     def to_records(self) -> list[dict]:

@@ -44,6 +44,39 @@ class TestExecutor:
             with pytest.raises(ValueError):
                 ex.load_state(np.zeros(5, dtype=np.uint8))
 
+    def test_load_state_rejects_dtype_mismatch(self, ziff, setup):
+        # silently casting float/int64 into the uint8 shared buffer
+        # would truncate every value without a trace
+        lat, _ = setup
+        with ParallelChunkExecutor(ziff, lat, n_workers=1) as ex:
+            with pytest.raises(ValueError, match="dtype mismatch"):
+                ex.load_state(np.zeros(lat.n_sites, dtype=np.float64))
+            with pytest.raises(ValueError, match="dtype mismatch"):
+                ex.load_state(np.zeros(lat.n_sites, dtype=np.int64))
+            # the explicit cast spelt out in the error message works
+            ex.load_state(np.ones(lat.n_sites).astype(np.uint8))
+            assert (ex.state == 1).all()
+
+    def test_default_context_is_platform_aware(self, ziff, setup):
+        import multiprocessing as mp
+
+        from repro.parallel.executor import _default_start_method
+
+        lat, _ = setup
+        assert _default_start_method() in mp.get_all_start_methods()
+        with ParallelChunkExecutor(ziff, lat, n_workers=1) as ex:
+            assert ex.context == _default_start_method()
+
+    def test_explicit_spawn_context(self, ziff, setup):
+        # spawn is available on every platform; the executor must work
+        # with it even where fork is the auto-selected default
+        lat, p5 = setup
+        with ParallelChunkExecutor(ziff, lat, n_workers=2, context="spawn") as ex:
+            t = ziff.type_index("CO_ads")
+            chunk = p5.chunks[0]
+            counts = ex.execute_chunk(chunk, np.full(chunk.size, t, dtype=np.intp))
+            assert counts[t] == chunk.size
+
     def test_closed_executor_rejects_work(self, ziff, setup):
         lat, p5 = setup
         ex = ParallelChunkExecutor(ziff, lat, n_workers=1)
