@@ -4,15 +4,19 @@ Commands
 --------
 ``list``
     List the reproduction experiments (tables/figures) and algorithms.
-``run <experiment-id> [--metrics]``
+``run <experiment-id> [--metrics] [--backend NAME]``
     Run one experiment by registry id and print its report
     (e.g. ``python -m repro run fig4``); ``--metrics`` appends the
-    run's collected counters/histograms (see :mod:`repro.obs`).
+    run's collected counters/histograms (see :mod:`repro.obs`);
+    ``--backend`` selects the kernel backend (numpy/cnative/numba/auto,
+    see :mod:`repro.backends`) — an execution detail only, results are
+    bit-identical across backends.
 ``algorithms``
     Print the algorithm taxonomy table.
-``bench [--engines ...] [--json] [--check FILE ...]``
+``bench [--engines ...] [--backend NAME] [--json] [--check FILE ...]``
     Small instrumented benchmark runs with machine-readable telemetry:
-    ``--json`` writes schema-validated ``BENCH_<engine>.json`` reports,
+    ``--json`` writes schema-validated ``BENCH_<engine>.json`` reports
+    (``BENCH_<engine>-<backend>.json`` for non-numpy backends),
     ``--check`` validates existing report files (the CI gate).
 ``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--kernels] [--json] [--strict]``
     Static verification: model sanity, symbolic partition race proofs,
@@ -48,8 +52,27 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from contextlib import ExitStack
+
     import repro.experiments as experiments
     from repro.resilience.runs import RUNS, run_resilience
+
+    with ExitStack() as stack:
+        if args.backend is not None:
+            from repro.backends import backend_names, resolve_backend, use_backend
+
+            if args.backend != "auto" and args.backend not in backend_names():
+                print(
+                    f"unknown backend {args.backend!r}; "
+                    f"known: {sorted(backend_names()) + ['auto']}",
+                    file=sys.stderr,
+                )
+                return 2
+            stack.enter_context(use_backend(resolve_backend(args.backend)))
+        return _cmd_run_inner(args, experiments, RUNS, run_resilience)
+
+
+def _cmd_run_inner(args, experiments, RUNS, run_resilience) -> int:
 
     if args.experiment in RUNS:
         from repro.resilience.checkpoint import ResilienceError
@@ -168,6 +191,14 @@ def main(argv: list[str] | None = None) -> int:
         "--resume", nargs="?", const="", metavar="PATH",
         help="resume from a checkpoint file, a directory's newest good "
         "checkpoint, or (bare) from --checkpoint-dir",
+    )
+    p_run.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend for the run (numpy, cnative, numba, auto); "
+        "default: the ambient selection.  Backends are an execution "
+        "detail — trajectories and checkpoints are bit-identical across "
+        "them, so a run checkpointed under one backend resumes under "
+        "another",
     )
     p_run.set_defaults(fn=_cmd_run)
     sub.add_parser("algorithms", help="print the algorithm taxonomy").set_defaults(

@@ -1,0 +1,40 @@
+"""Pluggable compiled-kernel backends (``numpy`` / ``cnative`` / ``numba``).
+
+See :mod:`repro.backends.registry` for the selection model and the
+bit-identity guarantee, :mod:`repro.backends.cnative` and
+:mod:`repro.backends.numba_jit` for the compiled tiers, and
+:mod:`repro.backends.fuzz` for the contract-driven differential
+harness that enforces the guarantee.
+"""
+
+from .registry import (
+    DISPATCH_KERNELS,
+    Backend,
+    BackendFallbackWarning,
+    KernelSet,
+    available_backends,
+    backend_names,
+    current_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
+
+# importing the tiers registers them
+from . import cnative as _cnative  # noqa: E402,F401
+from . import numba_jit as _numba_jit  # noqa: E402,F401
+
+__all__ = [
+    "DISPATCH_KERNELS",
+    "Backend",
+    "BackendFallbackWarning",
+    "KernelSet",
+    "available_backends",
+    "backend_names",
+    "current_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
+]

@@ -1,0 +1,449 @@
+"""The ``numba`` backend: ``@njit`` twins of the trial-execution loops.
+
+This is the highest tier of the registry: when numba is importable the
+kernels below JIT-compile the same strict-order trial loop the
+``cnative`` tier implements in C (both consume the packed tables of
+:func:`repro.backends.cnative.cnative_tables`, so the two compiled
+tiers share one table cache and one bit-identity argument — see the
+``cnative`` module docstring for why sequential execution reproduces
+every reference kernel exactly on contract-valid inputs).
+
+When numba is *not* importable the backend reports itself unavailable
+and :func:`repro.backends.registry.resolve_backend` degrades down the
+declared chain ``numba -> cnative -> numpy`` with a warning — requesting
+``--backend numba`` on a host without numba still runs, on the best
+compiled tier present.  The wrappers themselves also degrade per call
+(numba -> cnative -> reference), so even a direct call cannot fail for
+lack of a JIT.
+
+The module imports cleanly without numba: compilation is deferred to
+the first kernel call, and ``@kernel`` registration is metadata-only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.compiled import CompiledModel
+from ..lint.contracts import kernel
+from . import cnative as _cn
+from .registry import Backend, register_backend
+
+__all__ = [
+    "NumbaBackend",
+    "nb_execute_type_everywhere",
+    "nb_run_trials_batch",
+    "nb_run_trials_batch_with_duplicates",
+    "nb_run_trials_interleaved",
+    "nb_run_trials_sequential",
+    "nb_run_trials_stacked",
+    "numba_available",
+]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+# lazily-compiled jit entry points: None until first successful build
+_jit_cache: "dict[str, Callable] | None" = None
+_jit_failed = False
+
+
+def numba_available() -> bool:
+    """Is the numba JIT importable on this host?"""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _jit() -> "dict[str, Callable] | None":
+    """Compile the jit loops on first use; None when numba is absent."""
+    global _jit_cache, _jit_failed
+    if _jit_cache is not None or _jit_failed:
+        return _jit_cache
+    try:
+        from numba import njit
+    except Exception:
+        _jit_failed = True
+        return None
+
+    @njit(cache=True)
+    def run_trials(
+        state, maps, srcs, tgts, nch, sites, types, counts, use_counts,
+        rec, use_rec,
+    ):  # pragma: no cover - exercised only where numba is installed
+        c_max = maps.shape[1]
+        n_exec = 0
+        for i in range(sites.size):
+            s = sites[i]
+            t = types[i]
+            nc = nch[t]
+            ok = True
+            for c in range(nc):
+                if state[maps[t, c, s]] != srcs[t, c]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            for c in range(nc):
+                state[maps[t, c, s]] = tgts[t, c]
+            if use_counts:
+                counts[t] += 1
+            if use_rec:
+                rec[3 * n_exec] = i
+                rec[3 * n_exec + 1] = t
+                rec[3 * n_exec + 2] = s
+            n_exec += 1
+        return n_exec
+
+    @njit(cache=True)
+    def run_trials_stacked(
+        states, maps, srcs, tgts, nch, reps, sites, types, counts,
+        use_counts,
+    ):  # pragma: no cover - exercised only where numba is installed
+        n_exec = 0
+        for i in range(sites.size):
+            r = reps[i]
+            s = sites[i]
+            t = types[i]
+            nc = nch[t]
+            ok = True
+            for c in range(nc):
+                if states[r, maps[t, c, s]] != srcs[t, c]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            for c in range(nc):
+                states[r, maps[t, c, s]] = tgts[t, c]
+            if use_counts:
+                counts[r, t] += 1
+            n_exec += 1
+        return n_exec
+
+    @njit(cache=True)
+    def run_interleaved(
+        states, maps, srcs, tgts, nch, sites, types, starts, stops,
+        counts, use_counts,
+    ):  # pragma: no cover - exercised only where numba is installed
+        n_exec = 0
+        for r in range(states.shape[0]):
+            for i in range(starts[r], stops[r]):
+                s = sites[r, i]
+                t = types[r, i]
+                nc = nch[t]
+                ok = True
+                for c in range(nc):
+                    if states[r, maps[t, c, s]] != srcs[t, c]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                for c in range(nc):
+                    states[r, maps[t, c, s]] = tgts[t, c]
+                if use_counts:
+                    counts[r, t] += 1
+                n_exec += 1
+        return n_exec
+
+    _jit_cache = {
+        "run_trials": run_trials,
+        "run_trials_stacked": run_trials_stacked,
+        "run_interleaved": run_interleaved,
+    }
+    return _jit_cache
+
+
+def _run_stream_jit(
+    state: np.ndarray,
+    compiled: CompiledModel,
+    sites: np.ndarray,
+    types: np.ndarray,
+    counts: "np.ndarray | None",
+    record: "list | None",
+) -> int:
+    jit = _jit()
+    assert jit is not None  # callers guard with numba_available()
+    maps, srcs, tgts, nch = _cn.cnative_tables(compiled)
+    cbuf, direct = _cn._counts_buffer(counts)
+    use_counts = cbuf is not None
+    use_rec = record is not None
+    rec = np.empty(3 * sites.size, dtype=np.int64) if use_rec else _EMPTY_I64
+    n_exec = int(
+        jit["run_trials"](
+            state, maps, srcs, tgts, nch, sites, types,
+            cbuf if use_counts else _EMPTY_I64, use_counts, rec, use_rec,
+        )
+    )
+    if not direct and counts is not None and cbuf is not None:
+        counts += cbuf
+    if record is not None and n_exec:
+        flat = rec[: 3 * n_exec].tolist()
+        record.extend(
+            (flat[3 * k], flat[3 * k + 1], flat[3 * k + 2])
+            for k in range(n_exec)
+        )
+    return n_exec
+
+
+def _usable(state: np.ndarray, *streams: np.ndarray) -> bool:
+    if _jit() is None:
+        return False
+    if state.dtype != np.uint8 or not state.flags.c_contiguous:
+        return False
+    return all(s.flags.c_contiguous for s in streams)
+
+
+# ----------------------------------------------------------------------
+# the jitted kernels (each a declared twin of its NumPy reference)
+# ----------------------------------------------------------------------
+
+@kernel(
+    reads=("sites", "types"),
+    writes=("state", "counts", "record"),
+    caches=("compiled",),
+    dtypes={"state": "uint8", "counts": "int64"},
+    twin="run_trials_sequential",
+)
+def nb_run_trials_sequential(
+    state: np.ndarray,
+    compiled: CompiledModel,
+    sites: "np.ndarray | Sequence[int]",
+    types: "np.ndarray | Sequence[int]",
+    counts: "np.ndarray | None" = None,
+    record: "list | None" = None,
+) -> int:
+    """Numba twin of :func:`repro.core.kernels.run_trials_sequential`."""
+    s_arr = _cn._as_stream(sites)
+    t_arr = _cn._as_stream(types)
+    if s_arr.size != t_arr.size:
+        raise ValueError("sites and types must have equal length")
+    if not _usable(state, s_arr, t_arr) or not _cn._stream_valid(
+        compiled, s_arr, t_arr
+    ):
+        return _cn.c_run_trials_sequential(
+            state, compiled, sites, types, counts=counts, record=record
+        )
+    return _run_stream_jit(state, compiled, s_arr, t_arr, counts, record)
+
+
+@kernel(
+    reads=("sites", "types"),
+    writes=("state", "counts"),
+    disjoint=("sites",),
+    dtypes={"state": "uint8", "counts": "int64"},
+    twin="run_trials_batch",
+)
+def nb_run_trials_batch(
+    state: np.ndarray,
+    compiled: CompiledModel,
+    sites: np.ndarray,
+    types: np.ndarray,
+    counts: "np.ndarray | None" = None,
+) -> int:
+    """Numba twin of :func:`repro.core.kernels.run_trials_batch`."""
+    s_arr = _cn._as_stream(sites)
+    t_arr = _cn._as_stream(types)
+    if np.asarray(sites).shape != np.asarray(types).shape:
+        raise ValueError("sites and types must have equal length")
+    if s_arr.size == 0:
+        return 0
+    if not _usable(state, s_arr, t_arr) or not _cn._stream_valid(
+        compiled, s_arr, t_arr
+    ):
+        return _cn.c_run_trials_batch(state, compiled, sites, types, counts)
+    return _run_stream_jit(state, compiled, s_arr, t_arr, counts, None)
+
+
+@kernel(
+    reads=("sites", "types"),
+    writes=("state", "counts"),
+    dtypes={"state": "uint8", "counts": "int64"},
+    twin="run_trials_batch_with_duplicates",
+)
+def nb_run_trials_batch_with_duplicates(
+    state: np.ndarray,
+    compiled: CompiledModel,
+    sites: np.ndarray,
+    types: np.ndarray,
+    counts: "np.ndarray | None" = None,
+) -> int:
+    """Numba twin of occurrence-batched execution (equals sequential)."""
+    s_arr = _cn._as_stream(sites)
+    t_arr = _cn._as_stream(types)
+    if s_arr.size == 0:
+        return 0
+    if s_arr.size != t_arr.size or not _usable(
+        state, s_arr, t_arr
+    ) or not _cn._stream_valid(compiled, s_arr, t_arr):
+        return _cn.c_run_trials_batch_with_duplicates(
+            state, compiled, sites, types, counts
+        )
+    return _run_stream_jit(state, compiled, s_arr, t_arr, counts, None)
+
+
+@kernel(
+    reads=("reps", "sites", "types"),
+    writes=("states", "counts"),
+    caches=("compiled",),
+    shapes={"states": ("R", "N"), "counts": ("R", "T")},
+    dtypes={"states": "uint8", "counts": "int64"},
+    twin="run_trials_stacked",
+)
+def nb_run_trials_stacked(
+    states: np.ndarray,
+    compiled: CompiledModel,
+    reps: np.ndarray,
+    sites: np.ndarray,
+    types: np.ndarray,
+    counts: "np.ndarray | None" = None,
+) -> int:
+    """Numba twin of :func:`repro.core.kernels.run_trials_stacked`."""
+    r_arr = _cn._as_stream(reps)
+    s_arr = _cn._as_stream(sites)
+    t_arr = _cn._as_stream(types)
+    if s_arr.size == 0:
+        return 0
+    n_reps = states.shape[0] if states.ndim == 2 else 0
+    ok = (
+        r_arr.size == s_arr.size == t_arr.size
+        and states.ndim == 2
+        and _usable(states, r_arr, s_arr, t_arr)
+        and _cn._stream_valid(compiled, s_arr, t_arr)
+        and bool((r_arr >= 0).all() and (r_arr < n_reps).all())
+    )
+    if not ok:
+        return _cn.c_run_trials_stacked(
+            states, compiled, reps, sites, types, counts
+        )
+    jit = _jit()
+    assert jit is not None
+    maps, srcs, tgts, nch = _cn.cnative_tables(compiled)
+    cbuf, direct = _cn._counts_buffer(counts)
+    use_counts = cbuf is not None
+    n_exec = int(
+        jit["run_trials_stacked"](
+            states, maps, srcs, tgts, nch, r_arr, s_arr, t_arr,
+            cbuf if use_counts else np.empty((0, 0), dtype=np.int64),
+            use_counts,
+        )
+    )
+    if not direct and counts is not None and cbuf is not None:
+        counts += cbuf
+    return n_exec
+
+
+@kernel(
+    reads=("sites", "types", "starts", "stops"),
+    writes=("states", "counts"),
+    caches=("compiled",),
+    shapes={
+        "states": ("R", "N"),
+        "sites": ("R", "B"),
+        "types": ("R", "B"),
+        "counts": ("R", "T"),
+    },
+    dtypes={"states": "uint8", "counts": "int64"},
+    twin="run_trials_interleaved",
+)
+def nb_run_trials_interleaved(
+    states: np.ndarray,
+    compiled: CompiledModel,
+    sites: np.ndarray,
+    types: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    counts: "np.ndarray | None" = None,
+    window: int = 16,
+) -> int:
+    """Numba twin of :func:`repro.core.kernels.run_trials_interleaved`."""
+    s_arr = _cn._as_stream(sites)
+    t_arr = _cn._as_stream(types)
+    start_arr = _cn._as_stream(starts)
+    stop_arr = _cn._as_stream(stops)
+    ok = (
+        states.ndim == 2
+        and s_arr.ndim == 2
+        and s_arr.shape == t_arr.shape
+        and s_arr.shape[0] == states.shape[0]
+        and start_arr.size == stop_arr.size == states.shape[0]
+        and _usable(states, s_arr, t_arr, start_arr, stop_arr)
+        and _cn._stream_valid(compiled, s_arr.ravel(), t_arr.ravel())
+        and bool(
+            (start_arr >= 0).all() and (stop_arr <= s_arr.shape[1]).all()
+        )
+    )
+    if not ok:
+        return _cn.c_run_trials_interleaved(
+            states, compiled, sites, types, starts, stops,
+            counts=counts, window=window,
+        )
+    jit = _jit()
+    assert jit is not None
+    maps, srcs, tgts, nch = _cn.cnative_tables(compiled)
+    cbuf, direct = _cn._counts_buffer(counts)
+    use_counts = cbuf is not None
+    n_exec = int(
+        jit["run_interleaved"](
+            states, maps, srcs, tgts, nch, s_arr, t_arr, start_arr,
+            stop_arr,
+            cbuf if use_counts else np.empty((0, 0), dtype=np.int64),
+            use_counts,
+        )
+    )
+    if not direct and counts is not None and cbuf is not None:
+        counts += cbuf
+    return n_exec
+
+
+@kernel(
+    reads=("type_index", "sites"),
+    writes=("state",),
+    dtypes={"state": "uint8"},
+    twin="execute_type_everywhere",
+)
+def nb_execute_type_everywhere(
+    state: np.ndarray,
+    compiled: CompiledModel,
+    type_index: int,
+    sites: np.ndarray,
+) -> int:
+    """Numba twin of :func:`repro.core.kernels.execute_type_everywhere`."""
+    compiled.types[type_index]  # mirror the reference's IndexError
+    s_arr = _cn._as_stream(sites)
+    t_arr = np.full(s_arr.size, int(type_index), dtype=np.int64)
+    if not _usable(state, s_arr) or not _cn._stream_valid(
+        compiled, s_arr, t_arr
+    ):
+        return _cn.c_execute_type_everywhere(
+            state, compiled, type_index, sites
+        )
+    return _run_stream_jit(state, compiled, s_arr, t_arr, None, None)
+
+
+class NumbaBackend(Backend):
+    """Tier-2 JIT backend; degrades to cnative, then numpy."""
+
+    name = "numba"
+    tier = 2
+    fallback = ("cnative",)
+
+    def available(self) -> bool:
+        return numba_available()
+
+    def kernels(self) -> Mapping[str, Callable]:
+        return {
+            "run_trials_sequential": nb_run_trials_sequential,
+            "run_trials_batch": nb_run_trials_batch,
+            "run_trials_batch_with_duplicates": (
+                nb_run_trials_batch_with_duplicates
+            ),
+            "run_trials_stacked": nb_run_trials_stacked,
+            "run_trials_interleaved": nb_run_trials_interleaved,
+            "execute_type_everywhere": nb_execute_type_everywhere,
+        }
+
+
+register_backend(NumbaBackend())

@@ -46,10 +46,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import (
-    run_trials_batch_with_duplicates,
-    run_trials_sequential,
-)
 from ..core.rng import draw_types
 from ..dmc.base import SimulatorBase
 from ..partition.partition import Partition
@@ -143,11 +139,11 @@ class LPNDCA(SimulatorBase):
             executed0 = int(self.executed_per_type.sum())
             self._record_attempts(types)
         if self.uses_sequential_fallback:
-            run_trials_sequential(
+            self.kernels.run_trials_sequential(
                 self.state.array, comp, sites, types, counts=self.executed_per_type
             )
         else:
-            run_trials_batch_with_duplicates(
+            self.kernels.run_trials_batch_with_duplicates(
                 self.state.array, comp, sites, types, counts=self.executed_per_type
             )
         self.n_trials += n_trials
@@ -179,7 +175,7 @@ class LPNDCA(SimulatorBase):
             types = draw_types(self.rng, self.compiled.type_cum, n)
             if self.metrics.enabled:
                 self._record_attempts(types)
-            run_trials_sequential(
+            self.kernels.run_trials_sequential(
                 self.state.array, self.compiled, sites, types,
                 counts=self.executed_per_type,
             )

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_sequential
 from ..core.rng import draw_types
 from ..dmc.base import SimulatorBase
 
@@ -59,7 +58,7 @@ class NDCA(SimulatorBase):
             self._record_attempts(types)
         record: list | None = [] if self.trace is not None else None
         t_start = self.time
-        run_trials_sequential(
+        self.kernels.run_trials_sequential(
             self.state.array,
             comp,
             sites,

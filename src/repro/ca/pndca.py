@@ -45,7 +45,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_batch, run_trials_sequential
 from ..core.rng import draw_types
 from ..dmc.base import SimulatorBase
 from ..partition.partition import Partition
@@ -158,12 +157,12 @@ class PNDCA(SimulatorBase):
             # paper's pseudo-code does not prescribe one); keeping the
             # rng consumption identical to the vectorised path makes the
             # two kernels bit-compatible on conflict-free chunks
-            run_trials_sequential(
+            self.kernels.run_trials_sequential(
                 self.state.array, comp, chunk, types,
                 counts=self.executed_per_type,
             )
         else:
-            run_trials_batch(
+            self.kernels.run_trials_batch(
                 self.state.array, comp, chunk, types,
                 counts=self.executed_per_type,
             )

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_sequential
 from ..core.rng import draw_types
 from ..dmc.base import SimulatorBase
 
@@ -122,7 +121,7 @@ class SynchronousCA(SimulatorBase):
 
         if self.on_conflict == "sequential":
             order = self.rng.permutation(len(sites))
-            run_trials_sequential(
+            self.kernels.run_trials_sequential(
                 self.state.array,
                 comp,
                 sites[order],

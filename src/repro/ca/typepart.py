@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import execute_type_everywhere
 from ..dmc.base import SimulatorBase
 from ..partition.partition import Partition, conflict_displacements
 from ..partition.tilings import checkerboard
@@ -119,7 +118,9 @@ class TypePartitionedCA(SimulatorBase):
             t_idx = sub.type_indices[k]
             i = int(self.rng.integers(0, p.m))
             chunk = p.chunks[i]
-            n_exec = execute_type_everywhere(self.state.array, comp, t_idx, chunk)
+            n_exec = self.kernels.execute_type_everywhere(
+                self.state.array, comp, t_idx, chunk
+            )
             self.executed_per_type[t_idx] += n_exec
             self.n_trials += chunk.size
             trials += chunk.size

@@ -251,6 +251,13 @@ class SimulatorBase(ABC):
         A :class:`~repro.obs.trace.Tracer` receiving the
         ``on_step``/``on_chunk``/``on_snapshot`` hooks; defaults to
         the no-op :data:`~repro.obs.trace.NULL_TRACER`.
+    backend:
+        Kernel backend for the execution hot paths — a name
+        (``"numpy"``, ``"cnative"``, ``"numba"``, ``"auto"``), a
+        :class:`~repro.backends.Backend`, or ``None`` for the ambient
+        backend installed by :func:`~repro.backends.use_backend`
+        (default ``numpy``).  An execution detail only: trajectories,
+        RNG streams and checkpoints are bit-identical across backends.
     """
 
     #: short algorithm label, set by subclasses
@@ -267,11 +274,17 @@ class SimulatorBase(ABC):
         record_events: bool = False,
         metrics: MetricsCollector | None = None,
         tracer: Tracer | None = None,
+        backend=None,
     ):
         if time_mode not in ("stochastic", "deterministic"):
             raise ValueError(f"unknown time mode {time_mode!r}")
+        from ..backends import resolve_backend
+
         self.model = model
         self.lattice = lattice
+        self.backend = resolve_backend(backend)
+        #: the backend's resolved kernel table (execution hot paths)
+        self.kernels = self.backend.kernel_set()
         self.compiled: CompiledModel = model.compile(lattice)
         if initial is None:
             # all-vacant by convention; models without a "*" species

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_sequential
 from ..core.rng import draw_sites, draw_types
 from .base import SimulatorBase
 
@@ -87,7 +86,7 @@ class RSM(SimulatorBase):
                     n_use, int(np.searchsorted(times, due, side="left"))
                 )
             if seg_end > start:
-                run_trials_sequential(
+                self.kernels.run_trials_sequential(
                     self.state.array,
                     comp,
                     sites[start:seg_end],

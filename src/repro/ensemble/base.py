@@ -96,6 +96,11 @@ class EnsembleBase(ABC):
     tracer:
         A :class:`~repro.obs.trace.Tracer` receiving ``on_step`` /
         ``on_chunk`` hooks; defaults to the no-op null tracer.
+    backend:
+        Kernel backend for the execution hot paths (name, Backend, or
+        ``None`` for the ambient default) — an execution detail only:
+        trajectories, RNG streams and checkpoints are bit-identical
+        across backends.
     """
 
     #: short algorithm label, set by subclasses
@@ -114,11 +119,17 @@ class EnsembleBase(ABC):
         species: tuple[str, ...] | None = None,
         metrics: MetricsCollector | None = None,
         tracer: Tracer | None = None,
+        backend=None,
     ):
         if time_mode not in ("stochastic", "deterministic"):
             raise ValueError(f"unknown time mode {time_mode!r}")
+        from ..backends import resolve_backend
+
         self.model = model
         self.lattice = lattice
+        self.backend = resolve_backend(backend)
+        #: the backend's resolved kernel table (execution hot paths)
+        self.kernels = self.backend.kernel_set()
         self.compiled: CompiledModel = model.compile(lattice)
         if seeds is not None:
             if n_replicas is not None and n_replicas != len(seeds):

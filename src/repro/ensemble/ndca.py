@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_interleaved, run_trials_sequential
 from ..core.rng import draw_types
 from ..lint.contracts import kernel
 from .base import EnsembleBase
@@ -82,7 +81,7 @@ class EnsembleNDCA(EnsembleBase):
                 self._record_attempts(types_blk[r])
         if self.order == "raster":
             for r in active:
-                run_trials_sequential(
+                self.kernels.run_trials_sequential(
                     self.states[r],
                     comp,
                     sites_blk[r],
@@ -92,7 +91,7 @@ class EnsembleNDCA(EnsembleBase):
         else:
             stops = np.zeros(r_total, dtype=np.intp)
             stops[active] = n
-            run_trials_interleaved(
+            self.kernels.run_trials_interleaved(
                 self.states,
                 comp,
                 sites_blk,

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_stacked
 from ..core.rng import make_rng, types_from_uniforms
 from ..lint.contracts import kernel
 from ..partition.partition import Partition
@@ -206,7 +205,7 @@ class EnsemblePNDCA(EnsembleBase):
             executed0 = int(self.executed_per_type.sum())
             self._record_attempts(btypes)
         reps, bsites = self._chunk_streams(chunk, active)
-        run_trials_stacked(
+        self.kernels.run_trials_stacked(
             self.states, comp, reps, bsites, btypes,
             counts=self.executed_per_type,
         )

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import run_trials_interleaved
 from ..core.rng import draw_sites, draw_types
 from ..lint.contracts import kernel
 from .base import EnsembleBase
@@ -116,7 +115,7 @@ class EnsembleRSM(EnsembleBase):
                 ],
                 dtype=np.intp,
             )
-            run_trials_interleaved(
+            self.kernels.run_trials_interleaved(
                 self.states,
                 comp,
                 sites_blk,

@@ -82,6 +82,8 @@ KERNEL_MODULES: tuple[str, ...] = (
     "repro.ensemble.rsm",
     "repro.ensemble.ndca",
     "repro.ensemble.pndca",
+    "repro.backends.cnative",
+    "repro.backends.numba_jit",
 )
 
 

@@ -139,17 +139,29 @@ def run_engine_bench(
     until: float = 5.0,
     seed: int = 1,
     n_replicas: int = 4,
+    backend: str | None = None,
 ) -> dict:
-    """One engine reference run -> one validated ``repro.bench/1`` record."""
+    """One engine reference run -> one validated ``repro.bench/1`` record.
+
+    ``backend`` selects the kernel backend for the run (``None`` keeps
+    the ambient selection).  Non-numpy backends get their own record
+    name (``<engine>-<backend>``) so per-backend BENCH files coexist in
+    the same trajectory directory, and the resolved backend is recorded
+    in ``extra["backend"]`` either way — the trajectory stays comparable
+    point-for-point under identical settings.
+    """
+    from ..backends import resolve_backend, use_backend
+
     try:
         fn = ENGINES[engine]
     except KeyError:
         raise KeyError(
             f"unknown engine {engine!r}; known: {sorted(ENGINES)}"
         ) from None
+    be = resolve_backend(backend)
     collector = MetricsCollector()
     wall0 = time.perf_counter()
-    with collector.phase("bench"):
+    with collector.phase("bench"), use_backend(be):
         result = fn(side, until, seed, n_replicas, collector)
     wall = time.perf_counter() - wall0
     # sequential results carry scalar totals; ensemble results arrays
@@ -163,11 +175,12 @@ def run_engine_bench(
         "trials": float(trials),
         "trials_per_s": trials / result.wall_time if result.wall_time > 0 else 0.0,
     }
-    extra: dict = {"side": side, "until": until}
+    extra: dict = {"side": side, "until": until, "backend": be.name}
     if hasattr(result, "n_replicas"):
         extra["n_replicas"] = int(result.n_replicas)
+    name = engine if be.name == "numpy" else f"{engine}-{be.name}"
     return bench_record(
-        engine,
+        name,
         algorithm=result.algorithm,
         model=result.model_name,
         lattice_shape=result.lattice_shape,
@@ -185,11 +198,17 @@ def run_bench(
     until: float = 5.0,
     seed: int = 1,
     n_replicas: int = 4,
+    backend: str | None = None,
 ) -> list[dict]:
     """Reference-run every requested engine; returns the records."""
     return [
         run_engine_bench(
-            e, side=side, until=until, seed=seed, n_replicas=n_replicas
+            e,
+            side=side,
+            until=until,
+            seed=seed,
+            n_replicas=n_replicas,
+            backend=backend,
         )
         for e in engines
     ]
@@ -217,6 +236,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="run seed (default 1)")
     parser.add_argument(
         "--replicas", type=int, default=4, help="ensemble replica count (default 4)"
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "kernel backend for the runs (e.g. numpy, cnative, numba, auto); "
+            "default: the ambient selection.  An unavailable backend falls "
+            "back along its declared chain with a warning; non-numpy records "
+            "are written as BENCH_<engine>-<backend>.json"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -265,12 +295,23 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend is not None and args.backend != "auto":
+        from ..backends import backend_names
+
+        if args.backend not in backend_names():
+            print(
+                f"unknown backend {args.backend!r}; "
+                f"known: {sorted(backend_names()) + ['auto']}",
+                file=sys.stderr,
+            )
+            return 2
     records = run_bench(
         names,
         side=args.side,
         until=args.until,
         seed=args.seed,
         n_replicas=args.replicas,
+        backend=args.backend,
     )
     if args.json:
         for record in records:

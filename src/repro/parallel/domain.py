@@ -27,7 +27,6 @@ import math
 
 import numpy as np
 
-from ..core.kernels import run_trials_sequential
 from ..core.rng import draw_sites, draw_types
 from ..dmc.base import SimulatorBase
 from .machine import MachineSpec
@@ -102,7 +101,7 @@ class DomainDecomposedRSM(SimulatorBase):
             sites = strip[draw_sites(self.rng, strip.size, n)]
             types = draw_types(self.rng, comp.type_cum, n)
             record: list = []
-            run_trials_sequential(
+            self.kernels.run_trials_sequential(
                 self.state.array, comp, sites, types,
                 counts=self.executed_per_type, record=record,
             )

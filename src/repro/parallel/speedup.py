@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from ..core.kernels import run_trials_batch
+from ..backends import resolve_backend
 from ..core.lattice import Lattice
 from ..core.model import Model
 from ..core.rng import draw_types, make_rng
@@ -53,11 +53,14 @@ def measure_t_trial(
 ) -> float:
     """Measured seconds per trial of the vectorised chunk kernel.
 
-    Times ``run_trials_batch`` over the chunks of the five-chunk
-    partition on a lightly equilibrated state and returns the median
-    per-trial time.
+    Times ``run_trials_batch`` of the *ambient* kernel backend (see
+    :func:`repro.backends.use_backend`) over the chunks of the
+    five-chunk partition on a lightly equilibrated state and returns
+    the median per-trial time — so the modelled speedups are calibrated
+    against the implementation tier a run would actually execute.
     """
     state, partition = _warmed_state(model, lattice, seed)
+    kernels = resolve_backend(None).kernel_set()
     comp = model.compile(lattice)
     rng = make_rng(seed + 1)
     per_trial: list[float] = []
@@ -66,7 +69,7 @@ def measure_t_trial(
         for chunk in partition.chunks:
             types = draw_types(rng, comp.type_cum, chunk.size)
             t0 = time.perf_counter()
-            run_trials_batch(scratch, comp, chunk, types)
+            kernels.run_trials_batch(scratch, comp, chunk, types)
             per_trial.append((time.perf_counter() - t0) / chunk.size)
     return float(np.median(per_trial))
 

@@ -1,4 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Markers
+-------
+``slow``
+    Long-running tests: statistical/long-horizon checks, the full
+    backend differential matrix
+    (``test_backends.py::TestDifferentialMatrix``) and the compiled
+    kernel speedup gate (``test_backends.py::TestSpeedup``).  The
+    default run excludes them (``addopts = "-q -m 'not slow'"`` in
+    pyproject.toml); run them with ``pytest -m slow``, or everything
+    with ``pytest -m ''``.  CI's backend-matrix job runs the slow
+    differential suite explicitly — fast backend smoke coverage stays
+    in the default tier-1 run.
+"""
 
 import numpy as np
 import pytest

@@ -223,3 +223,93 @@ class TestParallelPNDCA:
             snap.histograms["executor.slice.wall"].count
             >= snap.histograms["executor.chunk.wall"].count
         )
+
+
+class TestExecutorBackend:
+    """The executor honours the selected kernel backend on every rung.
+
+    Regression: the serial-degradation path used to call the
+    module-level reference ``run_trials_batch`` directly — a degraded
+    run silently switched kernel implementations mid-run.  It now
+    dispatches through the executor's resolved backend, as the worker
+    slices always did.
+    """
+
+    def test_serial_degradation_uses_selected_backend(self, ziff, setup):
+        from repro.backends import Backend, register_backend
+        from repro.backends import registry as _registry
+        from repro.core.kernels import run_trials_batch as ref_batch
+
+        calls = []
+
+        class Sentinel(Backend):
+            name = "sentinel-exec"
+            tier = -1
+
+            def kernels(self):
+                def counting_batch(state, compiled, sites, types, counts=None):
+                    calls.append(len(sites))
+                    return ref_batch(state, compiled, sites, types, counts=counts)
+
+                return {"run_trials_batch": counting_batch}
+
+        register_backend(Sentinel())
+        try:
+            lat, p5 = setup
+            with ParallelChunkExecutor(
+                ziff, lat, n_workers=1, backend="sentinel-exec"
+            ) as ex:
+                assert ex.backend.name == "sentinel-exec"
+                ex._degraded = True  # jump straight to the last rung
+                t = ziff.type_index("CO_ads")
+                chunk = p5.chunks[0]
+                counts = ex.execute_chunk(
+                    chunk, np.full(chunk.size, t, dtype=np.intp)
+                )
+                assert counts[t] == chunk.size
+            # the regression: zero calls here meant the degraded rung
+            # bypassed the backend and hard-coded the reference kernel
+            assert calls == [chunk.size]
+        finally:
+            _registry._REGISTRY.pop("sentinel-exec", None)
+
+    def test_degraded_run_bit_identical_across_backends(self, ziff, setup):
+        from repro.backends import available_backends
+
+        compiled = [n for n in available_backends() if n != "numpy"]
+        if not compiled:
+            pytest.skip("no compiled backend available")
+        lat, p5 = setup
+        serial = PNDCA(ziff, lat, seed=13, partition=p5, strategy="ordered")
+        rs = serial.run(until=3.0)
+        with ParallelChunkExecutor(
+            ziff, lat, n_workers=2, backend=compiled[0]
+        ) as ex:
+            ex._degraded = True
+            par = ParallelPNDCA(
+                ziff, lat, seed=13, partition=p5, strategy="ordered", executor=ex
+            )
+            rp = par.run(until=3.0)
+        assert np.array_equal(rs.final_state.array, rp.final_state.array)
+        assert rs.n_executed == rp.n_executed
+
+    def test_workers_resolve_backend_by_name(self, ziff, setup):
+        """Parallel slices under a compiled backend stay bit-identical
+        (the backend object itself is never pickled — only its name)."""
+        from repro.backends import available_backends
+
+        compiled = [n for n in available_backends() if n != "numpy"]
+        if not compiled:
+            pytest.skip("no compiled backend available")
+        lat, p5 = setup
+        serial = PNDCA(ziff, lat, seed=17, partition=p5, strategy="ordered")
+        rs = serial.run(until=3.0)
+        with ParallelChunkExecutor(
+            ziff, lat, n_workers=3, backend=compiled[0]
+        ) as ex:
+            par = ParallelPNDCA(
+                ziff, lat, seed=17, partition=p5, strategy="ordered", executor=ex
+            )
+            rp = par.run(until=3.0)
+        assert np.array_equal(rs.final_state.array, rp.final_state.array)
+        assert np.array_equal(rs.executed_per_type, rp.executed_per_type)

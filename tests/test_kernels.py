@@ -75,19 +75,41 @@ class TestSequential:
 
 
 class TestBatch:
-    def test_matches_sequential_on_conflict_free_sites(
-        self, comp, ziff, small_lattice, rng
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_sequential_on_fuzzed_conflict_free_sites(
+        self, comp, ziff, small_lattice, seed
     ):
-        p5 = five_chunk_partition(small_lattice)
-        p5.validate_conflict_free(ziff)
-        # random initial state, same trials through both kernels
-        state0 = rng.integers(0, 3, small_lattice.n_sites).astype(np.uint8)
-        for chunk in p5.chunks:
-            types = draw_types(rng, comp.type_cum, chunk.size)
-            a = state0.copy()
-            b = state0.copy()
-            n_a = run_trials_sequential(a, comp, chunk, types)
-            n_b = run_trials_batch(b, comp, chunk, types)
+        """Property: on any contract-valid (conflict-free) fuzzed case
+        the vectorised batch equals the sequential oracle exactly.
+
+        The cases come from the contract-driven generator
+        (:func:`repro.backends.fuzz.fuzz_case`): random states, random
+        greedy conflict-free anchor sets, random type streams — not a
+        hand-picked partition chunk.
+        """
+        from repro.backends.fuzz import fuzz_case
+
+        rng = np.random.default_rng(seed)
+        kwargs = fuzz_case(comp, "run_trials_batch", rng)
+        a = kwargs["state"].copy()
+        b = kwargs["state"].copy()
+        n_a = run_trials_sequential(a, comp, kwargs["sites"], kwargs["types"])
+        n_b = run_trials_batch(b, comp, kwargs["sites"], kwargs["types"])
+        assert n_a == n_b
+        assert np.array_equal(a, b)
+
+    def test_matches_sequential_on_degenerate_lattice(self, ziff):
+        """The same property on a lattice no library tiling covers."""
+        from repro.backends.fuzz import fuzz_case
+        from repro.core import Lattice
+
+        comp28 = ziff.compile(Lattice((2, 8)))
+        for seed in range(3):
+            kwargs = fuzz_case(comp28, "run_trials_batch", np.random.default_rng(seed))
+            a = kwargs["state"].copy()
+            b = kwargs["state"].copy()
+            n_a = run_trials_sequential(a, comp28, kwargs["sites"], kwargs["types"])
+            n_b = run_trials_batch(b, comp28, kwargs["sites"], kwargs["types"])
             assert n_a == n_b
             assert np.array_equal(a, b)
 
@@ -120,18 +142,23 @@ class TestBatchWithDuplicates:
     def test_occurrence_index_all_unique(self):
         assert _occurrence_index(np.array([4, 2, 9])).tolist() == [0, 0, 0]
 
-    def test_matches_sequential_with_repeats(self, comp, ziff, small_lattice, rng):
-        p5 = five_chunk_partition(small_lattice)
-        p5.validate_conflict_free(ziff)
-        chunk = p5.chunks[0]
-        state0 = rng.integers(0, 3, small_lattice.n_sites).astype(np.uint8)
-        # sample with replacement: duplicates guaranteed over 3x chunk size
-        sites = chunk[rng.integers(0, chunk.size, size=chunk.size * 3)]
-        types = draw_types(rng, comp.type_cum, sites.size)
-        a = state0.copy()
-        b = state0.copy()
-        n_a = run_trials_sequential(a, comp, sites, types)
-        n_b = run_trials_batch_with_duplicates(b, comp, sites, types)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_sequential_on_fuzzed_repeat_streams(
+        self, comp, ziff, small_lattice, seed
+    ):
+        """Property: with-replacement streams over a fuzzed
+        conflict-free pool execute exactly like the sequential oracle
+        (the occurrence-round decomposition is semantics-preserving)."""
+        from repro.backends.fuzz import fuzz_case
+
+        rng = np.random.default_rng(seed)
+        kwargs = fuzz_case(comp, "run_trials_batch_with_duplicates", rng)
+        a = kwargs["state"].copy()
+        b = kwargs["state"].copy()
+        n_a = run_trials_sequential(a, comp, kwargs["sites"], kwargs["types"])
+        n_b = run_trials_batch_with_duplicates(
+            b, comp, kwargs["sites"], kwargs["types"]
+        )
         assert n_a == n_b
         assert np.array_equal(a, b)
 
