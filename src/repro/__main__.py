@@ -18,12 +18,13 @@ Commands
     ``--json`` writes schema-validated ``BENCH_<engine>.json`` reports
     (``BENCH_<engine>-<backend>.json`` for non-numpy backends),
     ``--check`` validates existing report files (the CI gate).
-``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--kernels] [--json] [--strict]``
+``lint [--model NAME] [--tiling M:C0,C1] [--shape LxM] [--kernels] [--native] [--json] [--strict]``
     Static verification: model sanity, symbolic partition race proofs,
-    RNG draw audit, and — with ``--kernels`` — the kernel-level
-    scatter-aliasing/effect-contract pass (see :mod:`repro.lint`;
-    ``--list-codes`` prints the SR001..SR051 registry).  Exit code 1
-    on findings — the CI gate.
+    RNG draw audit, the kernel-level scatter-aliasing/effect-contract
+    pass (``--kernels``) and the native-tier C/numba verifier
+    (``--native``, SR060-SR064) — see :mod:`repro.lint`;
+    ``--list-codes`` prints the full SR registry.  Exit code 1 on
+    findings — the CI gate.
 ``info``
     Package/version/paper information.
 """

@@ -246,25 +246,71 @@ def _find_compiler() -> str | None:
     return None
 
 
+_compiler_id_cache: "str | None" = None
+
+
+def _compiler_identity() -> str:
+    """First line of ``cc --version`` for the compiler we would use.
+
+    Folded into the ``.so`` cache digest so a toolchain upgrade (same
+    source, new compiler) rebuilds instead of serving a stale binary.
+    A host with no compiler still gets a stable identity, so a cached
+    artifact built elsewhere remains loadable.
+    """
+    global _compiler_id_cache
+    if _compiler_id_cache is None:
+        cc = _find_compiler()
+        ident = "no-cc"
+        if cc is not None:
+            try:
+                proc = subprocess.run(
+                    [cc, "--version"], capture_output=True, timeout=10
+                )
+                first = proc.stdout.decode(errors="replace").splitlines()
+                ident = f"{cc} {first[0].strip()}" if first else cc
+            except (OSError, subprocess.SubprocessError):
+                ident = cc
+        _compiler_id_cache = ident
+    return _compiler_id_cache
+
+
 def library_path() -> str:
     """Where the compiled shared object lives (may not exist yet)."""
-    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    payload = _C_SOURCE + "\0" + _compiler_identity()
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
     return os.path.join(_cache_dir(), f"repro_cnative_{digest}.so")
 
 
+#: entry point -> (parameter kinds, return kind); the single source of
+#: truth for the ctypes declarations, and what the native lint pass
+#: (``repro lint --native``) proves consistent with the parsed C
+#: signatures and the kernel specs (SR060/SR061).
+CTYPES_SIGNATURES: "dict[str, tuple[tuple[str, ...], str]]" = {
+    "repro_run_trials": (
+        ("ptr", "ptr", "ptr", "ptr", "ptr", "i64", "i64", "ptr", "ptr",
+         "i64", "ptr", "ptr"),
+        "i64",
+    ),
+    "repro_run_trials_stacked": (
+        ("ptr", "ptr", "ptr", "ptr", "ptr", "i64", "i64", "ptr", "ptr",
+         "ptr", "i64", "ptr", "i64"),
+        "i64",
+    ),
+    "repro_run_interleaved": (
+        ("ptr", "ptr", "ptr", "ptr", "ptr", "i64", "i64", "ptr", "ptr",
+         "ptr", "ptr", "i64", "i64", "ptr", "i64"),
+        "i64",
+    ),
+}
+
+_CTYPES_KINDS = {"ptr": ctypes.c_void_p, "i64": ctypes.c_int64}
+
+
 def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
-    p = ctypes.c_void_p
-    i64 = ctypes.c_int64
-    lib.repro_run_trials.argtypes = [p, p, p, p, p, i64, i64, p, p, i64, p, p]
-    lib.repro_run_trials.restype = i64
-    lib.repro_run_trials_stacked.argtypes = [
-        p, p, p, p, p, i64, i64, p, p, p, i64, p, i64,
-    ]
-    lib.repro_run_trials_stacked.restype = i64
-    lib.repro_run_interleaved.argtypes = [
-        p, p, p, p, p, i64, i64, p, p, p, p, i64, i64, p, i64,
-    ]
-    lib.repro_run_interleaved.restype = i64
+    for name, (kinds, ret) in CTYPES_SIGNATURES.items():
+        fn = getattr(lib, name)
+        fn.argtypes = [_CTYPES_KINDS[k] for k in kinds]
+        fn.restype = _CTYPES_KINDS[ret]
     return lib
 
 
@@ -294,6 +340,7 @@ def _build() -> "ctypes.CDLL | None":
             return None
         # atomic publish: concurrent builders race benignly
         os.replace(tmp_path, lib_path)
+        _evict_stale(cache, os.path.basename(lib_path))
         return _declare(ctypes.CDLL(lib_path))
     except (OSError, subprocess.SubprocessError):
         return None
@@ -304,6 +351,24 @@ def _build() -> "ctypes.CDLL | None":
                     os.remove(leftover)
                 except OSError:
                     pass
+
+
+def _evict_stale(cache: str, keep: str) -> None:
+    """Drop superseded artifacts (old source or old toolchain) —
+    best-effort: a shared cache dir may race, and that is fine."""
+    try:
+        for entry in os.listdir(cache):
+            if (
+                entry.startswith("repro_cnative_")
+                and entry.endswith(".so")
+                and entry != keep
+            ):
+                try:
+                    os.remove(os.path.join(cache, entry))
+                except OSError:
+                    pass
+    except OSError:
+        pass
 
 
 def _lib() -> "ctypes.CDLL | None":
@@ -732,4 +797,42 @@ class CNativeBackend(Backend):
         }
 
 
-register_backend(CNativeBackend())
+#: escape hatch: skip the registration self-check (emergencies only)
+LINT_SKIP_ENV = "REPRO_NATIVE_LINT_SKIP"
+
+
+def cnative_self_check() -> "list[str]":
+    """Statically verify this module's own C source before registering.
+
+    Runs the native lint pass (``repro.lint.native``) over
+    ``_C_SOURCE`` and ``CTYPES_SIGNATURES``; returns the error messages
+    (empty when the translation unit is proven safe).  A crash in the
+    verifier itself is not a verdict — the backend then registers as
+    usual and the full ``repro lint --native`` run surfaces the
+    problem.
+    """
+    try:
+        from ..lint.native.verify import verify_c_translation_unit
+        report = verify_c_translation_unit(_C_SOURCE, CTYPES_SIGNATURES)
+        return [d.render() for d in report.errors]
+    except Exception:  # verifier bug must not take the backend down
+        return []
+
+
+if os.environ.get(LINT_SKIP_ENV):
+    register_backend(CNativeBackend())
+else:
+    _lint_errors = cnative_self_check()
+    if _lint_errors:
+        import warnings
+
+        warnings.warn(
+            "cnative backend refused to register: its C source fails "
+            "the native lint self-check (set "
+            f"{LINT_SKIP_ENV}=1 to override):\n  "
+            + "\n  ".join(_lint_errors),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    else:
+        register_backend(CNativeBackend())

@@ -35,38 +35,26 @@ Analysis passes, each emitting :class:`Diagnostic` records with stable
   kernel's ``@kernel(reads=..., writes=..., pure=...)`` effect
   contract — including sequential/ensemble twin-contract agreement.
   ``python -m repro lint --kernels``.
+* :mod:`repro.lint.native` — the **native-tier verifier**: parses the
+  cnative C translation unit and the ``@njit`` twins from source into
+  one typed IR, checks the ctypes/numpy/@kernel-contract ABI surface
+  (SR060/SR061), proves every subscript in-bounds and every integer
+  expression overflow-free by abstract interpretation with polynomial
+  intervals (SR062/SR063), and certifies trial loop order against the
+  reference kernel's commutativity argument (SR064).
+  ``python -m repro lint --native``.
 
-The complete code registry (one line each; severities and full
-descriptions in :data:`repro.lint.diagnostics.CODES`):
+The complete code registry, generated from
+:data:`repro.lint.diagnostics.CODES` (full descriptions live there;
+``python -m repro lint --list-codes`` prints them):
 
-========  ============================================================
-``SR001``  tiling residue conflict (fails on every aligned size)
-``SR002``  tiling conflict under one shape's periodic wrap
-``SR003``  partition places conflicting sites in one chunk
-``SR004``  partition uses more chunks than the clique bound
-``SR005``  partition not conflict-free for a single type
-``SR010``  per-site probability mass exceeds 1 at the time step
-``SR011``  reaction can never become enabled
-``SR012``  species neither initial nor producible
-``SR013``  null reaction (rewrites sites to themselves)
-``SR014``  declared conservation law violated by stoichiometry
-``SR015``  non-finite rate constant
-``SR016``  duplicate reaction pattern
-``SR030``  ensemble replica stream draws an extra kind
-``SR031``  schedule randomness drawn from a replica stream
-``SR032``  sequential draw kind missing from the ensemble twin
-``SR040``  augmented fancy scatter with possibly-repeated index
-``SR041``  plain fancy scatter aliasing array values
-``SR042``  provable broadcast shape mismatch
-``SR043``  implicit dtype downcast on store
-``SR050``  mutation not declared by the @kernel contract
-``SR051``  sequential/ensemble twin contract drift
-========  ============================================================
+{code_table}
 
 Entry points: ``python -m repro lint`` (CI gate, see
-:mod:`repro.lint.cli`; ``--kernels`` for the kernel pass alone) and
-the :func:`preflight_model` / :func:`preflight_partition` gates wired
-into the experiment drivers and the PNDCA construction paths.
+:mod:`repro.lint.cli`; ``--kernels`` / ``--native`` for single
+passes) and the :func:`preflight_model` / :func:`preflight_partition`
+gates wired into the experiment drivers and the PNDCA construction
+paths.
 """
 
 from __future__ import annotations
@@ -83,6 +71,7 @@ from .kernel_lint import (
     runtime_write_collisions,
 )
 from .model_lint import lint_model
+from .native import NATIVE_CODES, lint_native, lint_verdict
 from .offsets import Conflict, conflict_witnesses
 from .partition_lint import (
     TilingProof,
@@ -92,6 +81,25 @@ from .partition_lint import (
     tiling_conflicts_on_shape,
 )
 from .rng_lint import audit_draws
+
+
+def _render_code_table() -> str:
+    """The SR-code table as reST, one row per registry entry."""
+    rows = [
+        (f"``{code}``", sev, slug)
+        for code, sev, slug, _desc in code_table()
+    ]
+    widths = [max(len(r[i]) for r in rows) for i in range(3)]
+    rule = "  ".join("=" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in rows
+    )
+    return f"{rule}\n{body}\n{rule}"
+
+
+if __doc__ is not None:  # absent under ``python -OO``
+    __doc__ = __doc__.replace("{code_table}", _render_code_table())
 
 __all__ = [
     "CODES",
@@ -103,6 +111,7 @@ __all__ = [
     "KernelContract",
     "KernelIR",
     "KERNEL_MODULES",
+    "NATIVE_CODES",
     "analyze_kernel",
     "audit_draws",
     "build_ir",
@@ -114,7 +123,9 @@ __all__ = [
     "kernel",
     "lint_kernels",
     "lint_model",
+    "lint_native",
     "lint_partition",
+    "lint_verdict",
     "preflight_model",
     "preflight_partition",
     "prove_tiling",

@@ -1,0 +1,49 @@
+"""``repro.lint.native`` — static verifier for the compiled kernel tier.
+
+PR 2/3 built a proof engine for the NumPy kernels (SR001–SR051); the
+compiled cnative/numba twins of PR 6 were verified only dynamically,
+by the differential fuzzer.  This package closes that gap with the
+SR060-range: it parses the C translation unit and the ``@njit`` loops
+from source into one typed IR (:mod:`~repro.lint.native.nir`), checks
+the ctypes/numpy/contract ABI surface (SR060/SR061), proves every
+subscript in-bounds and every integer expression overflow-free by
+abstract interpretation with polynomial intervals (SR062/SR063), and
+certifies that each twin executes trials in an order its reference
+kernel's commutativity argument admits (SR064).
+
+Everything runs from *source text*: no C compiler, no numba, and no
+kernel execution is required, so the pass is available on every host
+CI runs on.
+
+Modules
+-------
+``sym``     polynomial intervals + the nonnegativity decision procedure
+``nir``     the shared typed IR
+``cfront``  tokenizer + recursive-descent parser for the C subset
+``pyfront`` AST lowering for the ``@njit`` twins
+``specs``   per-entry-point preconditions (the trusted base)
+``abi``     SR060/SR061 signature and width agreement
+``absint``  SR062/SR063 proofs and the SR064 order certificates
+``verify``  the ``repro lint --native`` pass + backend self-check
+"""
+
+from .nir import NativeSyntaxError
+from .specs import C_SPECS, NUMBA_SPECS
+from .verify import (
+    NATIVE_CODES,
+    lint_native,
+    lint_verdict,
+    verify_c_translation_unit,
+    verify_numba_functions,
+)
+
+__all__ = [
+    "C_SPECS",
+    "NATIVE_CODES",
+    "NUMBA_SPECS",
+    "NativeSyntaxError",
+    "lint_native",
+    "lint_verdict",
+    "verify_c_translation_unit",
+    "verify_numba_functions",
+]

@@ -1,0 +1,304 @@
+"""ABI checks: SR060 (signature agreement) and SR061 (width agreement).
+
+Four artefacts must agree for every compiled entry point:
+
+1. the **parsed C signature** (or ``@njit`` twin parameter list),
+2. the **ctypes declaration** (``CTYPES_SIGNATURES`` in the cnative
+   backend — the table :func:`repro.backends.cnative._declare` is
+   generated from),
+3. the **spec** binding parameters to regions / size symbols
+   (:mod:`repro.lint.native.specs`), and
+4. the **@kernel contracts** of the python wrappers (dtypes, shapes)
+   plus the numpy dtypes ``cnative_tables`` actually packs.
+
+Arity and pointer-vs-scalar disagreements are SR060; integer width or
+signedness disagreements (a C ``int32_t *`` fed an int64 buffer, a
+scalar narrower than the ``c_int64`` ctypes passes) are SR061.  The
+wrapper-guard scan also lives here: a wrapper whose source no longer
+references its validating guards (``_c_usable`` / ``_usable`` /
+``_stream_valid``) has silently dropped the preconditions every bounds
+proof rests on — that is reported as SR062 at the wrapper site.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+from ..diagnostics import Diagnostic
+from .nir import DTYPE_CTYPES, INT64, NativeFunc
+from .specs import EntrySpec
+
+__all__ = ["check_c_abi", "check_numba_abi", "check_wrapper_guards",
+           "check_table_dtypes"]
+
+
+def _diag(code: str, subject: str, msg: str, **data) -> Diagnostic:
+    return Diagnostic(code, subject, msg, data)
+
+
+def check_c_abi(
+    funcs: dict[str, NativeFunc],
+    signatures: dict[str, tuple[tuple[str, ...], str]],
+    specs: tuple[EntrySpec, ...],
+) -> list[Diagnostic]:
+    """C signature vs ctypes declaration vs spec binding."""
+    diags: list[Diagnostic] = []
+    for spec in specs:
+        subject = f"native:c:{spec.name}"
+        func = funcs.get(spec.name)
+        if func is None:
+            diags.append(_diag(
+                "SR060", subject,
+                f"entry point {spec.name!r} not found in the C "
+                f"translation unit",
+            ))
+            continue
+        sig = signatures.get(spec.name)
+        if sig is None:
+            diags.append(_diag(
+                "SR060", subject,
+                f"no ctypes declaration for {spec.name!r} in "
+                f"CTYPES_SIGNATURES",
+            ))
+            continue
+        kinds, ret_kind = sig
+        if not (len(func.params) == len(kinds) == len(spec.params)):
+            diags.append(_diag(
+                "SR060", subject,
+                f"arity disagreement: C declares {len(func.params)} "
+                f"parameters, ctypes {len(kinds)}, spec "
+                f"{len(spec.params)}",
+            ))
+            continue
+        for pos, ((pname, ptype), kind, p) in enumerate(
+            zip(func.params, kinds, spec.params)
+        ):
+            want_ptr = p.kind == "region"
+            if kind not in ("ptr", "i64"):
+                diags.append(_diag(
+                    "SR060", subject,
+                    f"parameter {pos} ({pname}): unknown ctypes kind "
+                    f"{kind!r}",
+                    param=pname, position=pos,
+                ))
+                continue
+            if ptype.pointer != (kind == "ptr") or want_ptr != ptype.pointer:
+                diags.append(_diag(
+                    "SR060", subject,
+                    f"parameter {pos} ({pname}): C declares "
+                    f"{'pointer' if ptype.pointer else 'scalar'}, ctypes "
+                    f"passes {'a pointer' if kind == 'ptr' else 'c_int64'}"
+                    f", spec binds a "
+                    f"{'region' if want_ptr else 'size scalar'}",
+                    param=pname, position=pos,
+                ))
+                continue
+            if pname != p.name:
+                diags.append(_diag(
+                    "SR060", subject,
+                    f"parameter {pos}: C names it {pname!r}, spec binds "
+                    f"{p.name!r} — positional binding has drifted",
+                    param=pname, position=pos,
+                ))
+                continue
+            if not ptype.pointer:
+                # ctypes passes c_int64 for every scalar
+                if ptype.bits != 64 or not ptype.signed:
+                    diags.append(_diag(
+                        "SR061", subject,
+                        f"scalar parameter {pname} is {ptype} in C but "
+                        f"ctypes passes c_int64",
+                        param=pname, position=pos,
+                    ))
+            else:
+                region = spec.region(p.region)
+                want = DTYPE_CTYPES.get(region.dtype) if region else None
+                if want is not None and (
+                    ptype.bits != want.bits or ptype.signed != want.signed
+                ):
+                    diags.append(_diag(
+                        "SR061", subject,
+                        f"pointer parameter {pname} is {ptype} in C but "
+                        f"the wrapper passes a numpy {region.dtype} "
+                        f"buffer ({want.bits}-bit, "
+                        f"{'signed' if want.signed else 'unsigned'})",
+                        param=pname, position=pos, dtype=region.dtype,
+                    ))
+        if func.ret.pointer or func.ret.bits != INT64.bits or ret_kind != "i64":
+            diags.append(_diag(
+                "SR060", subject,
+                f"return type disagreement: C returns {func.ret}, ctypes "
+                f"declares {ret_kind!r} (expected int64)",
+            ))
+    return diags
+
+
+def check_numba_abi(
+    funcs: dict[str, NativeFunc], specs: tuple[EntrySpec, ...]
+) -> list[Diagnostic]:
+    """@njit twin parameter lists vs spec bindings (names + arity)."""
+    diags: list[Diagnostic] = []
+    for spec in specs:
+        subject = f"native:numba:{spec.name}"
+        func = funcs.get(spec.name)
+        if func is None:
+            diags.append(_diag(
+                "SR060", subject,
+                f"@njit twin {spec.name!r} not found in the numba module",
+            ))
+            continue
+        names = func.param_names()
+        want = tuple(p.name for p in spec.params)
+        if names != want:
+            diags.append(_diag(
+                "SR060", subject,
+                f"@njit twin parameters {list(names)} do not match the "
+                f"spec binding {list(want)}",
+            ))
+    return diags
+
+
+def _wrapper_contracts(spec: EntrySpec):
+    from ..contracts import KERNEL_REGISTRY
+    for dotted in spec.wrappers:
+        fn = KERNEL_REGISTRY.get(dotted)
+        if fn is not None:
+            yield dotted, fn
+
+
+def check_wrapper_guards(specs: tuple[EntrySpec, ...]) -> list[Diagnostic]:
+    """Each wrapper must still invoke the guards justifying the spec.
+
+    The value ranges the bounds proofs assume (sites < N, types < T,
+    contiguity, dtype) are established by ``_c_usable`` / ``_usable``
+    and ``_stream_valid``; a wrapper that stops calling them leaves
+    the kernel's subscripts unproven — reported as SR062 here because
+    the in-kernel proof is only as strong as its preconditions.
+    """
+    diags: list[Diagnostic] = []
+    from ..contracts import KERNEL_REGISTRY
+    for spec in specs:
+        for dotted, guards in spec.wrapper_guards.items():
+            fn = KERNEL_REGISTRY.get(dotted)
+            if fn is None:
+                diags.append(_diag(
+                    "SR060", f"native:{spec.lang}:{spec.name}",
+                    f"wrapper {dotted} is not registered as a @kernel",
+                    wrapper=dotted,
+                ))
+                continue
+            try:
+                src = inspect.getsource(fn)
+            except (OSError, TypeError):
+                continue
+            names = {
+                n.id for n in ast.walk(ast.parse(_dedent(src)))
+                if isinstance(n, ast.Name)
+            } | {
+                n.attr for n in ast.walk(ast.parse(_dedent(src)))
+                if isinstance(n, ast.Attribute)
+            }
+            for guard in guards:
+                if guard not in names:
+                    diags.append(_diag(
+                        "SR062", f"native:{spec.lang}:{spec.name}",
+                        f"wrapper {dotted} no longer invokes its guard "
+                        f"{guard!r}; the kernel's bounds preconditions "
+                        f"are unvalidated",
+                        wrapper=dotted, guard=guard,
+                    ))
+    # contract dtype/shape agreement with the spec regions
+    for spec in specs:
+        for dotted, fn in _wrapper_contracts(spec):
+            contract = getattr(fn, "__kernel_contract__", None)
+            if contract is None:
+                continue
+            for pname, dtype in contract.dtypes.items():
+                region = spec.region(_contract_region(spec, pname))
+                if region is not None and region.dtype != dtype:
+                    diags.append(_diag(
+                        "SR061", f"native:{spec.lang}:{spec.name}",
+                        f"@kernel contract of {dotted} declares "
+                        f"{pname}:{dtype} but the native spec packs "
+                        f"{region.dtype}",
+                        wrapper=dotted, param=pname,
+                    ))
+            for pname, shape in contract.shapes.items():
+                region = spec.region(_contract_region(spec, pname))
+                if region is not None and tuple(shape) != region.dims:
+                    diags.append(_diag(
+                        "SR060", f"native:{spec.lang}:{spec.name}",
+                        f"@kernel contract of {dotted} declares "
+                        f"{pname}:{tuple(shape)} but the native spec "
+                        f"binds extents {region.dims}",
+                        wrapper=dotted, param=pname,
+                    ))
+    return diags
+
+
+def _contract_region(spec: EntrySpec, pname: str) -> str:
+    """Map a wrapper parameter name onto the spec region it feeds."""
+    # wrapper and entry point share names for the arrays that matter
+    # (state/states/sites/types/starts/stops/counts/reps)
+    return pname
+
+
+def _dedent(src: str) -> str:
+    import textwrap
+    return textwrap.dedent(src)
+
+
+def check_table_dtypes(
+    cnative_source: str, specs: tuple[EntrySpec, ...]
+) -> list[Diagnostic]:
+    """The dtypes ``cnative_tables`` packs vs the spec regions.
+
+    Scans the backend module's AST for ``np.zeros(..., dtype=np.X)``
+    assignments to the table names inside ``cnative_tables`` — if the
+    packing dtype drifts from the spec (and hence from the C pointer
+    types), that is an SR061 the differential fuzzer would only catch
+    as garbage output.
+    """
+    diags: list[Diagnostic] = []
+    tree = ast.parse(cnative_source)
+    fdef = next(
+        (
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name == "cnative_tables"
+        ),
+        None,
+    )
+    if fdef is None:
+        diags.append(_diag(
+            "SR060", "native:c:cnative_tables",
+            "cnative_tables not found in the backend module",
+        ))
+        return diags
+    packed: dict[str, str] = {}
+    for node in ast.walk(fdef):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        call = node.value
+        if not (isinstance(call, ast.Call) and call.keywords):
+            continue
+        for kw in call.keywords:
+            if kw.arg == "dtype" and isinstance(kw.value, ast.Attribute):
+                packed[target.id] = kw.value.attr
+    spec = specs[0]
+    for table in ("maps", "srcs", "tgts", "nch"):
+        region = spec.region(table)
+        got = packed.get(table)
+        if region is None or got is None:
+            continue
+        if got != region.dtype:
+            diags.append(_diag(
+                "SR061", "native:c:cnative_tables",
+                f"cnative_tables packs {table} as {got} but the native "
+                f"spec (and C pointer type) expects {region.dtype}",
+                table=table, packed=got, expected=region.dtype,
+            ))
+    return diags

@@ -1,0 +1,935 @@
+"""Abstract interpretation over NIR: the SR062/SR063/SR064 proofs.
+
+One interpreter serves both compiled tiers.  Scalars are intervals
+with polynomial endpoints over the spec's size symbols plus a *width
+certificate* (the signed bit width the value provably fits); pointers
+are (region, symbolic offset, guard) triples.  The proofs:
+
+**SR062 (bounds)** — every subscript's offset must satisfy
+``0 <= off`` and ``off <= extent - 1`` in the polynomial order of
+:mod:`repro.lint.native.sym`, with region extents and content ranges
+taken from the wrapper-validated preconditions of the
+:class:`~repro.lint.native.specs.EntrySpec`.  Nullable / flag-gated
+regions additionally require their guard name on the active path.
+
+**SR063 (overflow)** — 64-bit arithmetic is overflow-free when each
+endpoint is dominated by a declared region extent (an extent counts
+elements of an array that exists in memory, so it fits ``int64_t`` by
+construction); narrower stores require a width certificate at most the
+declared width, or constant endpoints inside the representable range.
+In-place ``+=`` accumulation into int64 count buffers is exempt — the
+NumPy references share that saturation horizon.
+
+**SR064 (order)** — every loop must ascend with strict ``<`` and unit
+step, the trial-stream loop chain must match the spec's order
+certificate (full coverage ``0..n`` / ``starts[r]..stops[r]``), and
+inside the innermost stream loop the source-*check* loop (the one that
+can ``break``) must precede the state-*write* loop — the exact shape
+under which strict sequential execution is admissible per the
+reference kernel's commutativity argument.
+
+Accumulator variables (initialised to 0, only ever ``+= 1`` inside
+loops) get the precise flow-sensitive range ``[0, trips - 1]`` at loop
+entry, which is what proves the ``rec[3 * n_exec + k]`` subscripts —
+and what catches a mutant that increments before recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..diagnostics import Diagnostic
+from .nir import (
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolLit,
+    Break,
+    Cast,
+    Cond,
+    Decl,
+    DimOf,
+    Expr,
+    For,
+    If,
+    Index,
+    IntLit,
+    Name,
+    NativeFunc,
+    Return,
+    Stmt,
+    Unary,
+)
+from .specs import EntrySpec, Region, symbol_table
+from .sym import TOP, Interval, Poly, product
+
+__all__ = ["analyze_entry", "check_order", "render_expr"]
+
+_ARITH = ("+", "-", "*", "/", "%")
+_CMP = ("<", "<=", ">", ">=", "==", "!=")
+
+
+@dataclass(frozen=True)
+class _Scalar:
+    iv: Interval
+    width: int = 64  # signed bit width the value provably fits
+
+
+@dataclass(frozen=True)
+class _Ptr:
+    region: str
+    offset: Interval
+    guard: str | None = None
+
+
+_TOP_SCALAR = _Scalar(TOP, 64)
+
+
+def render_expr(e: Expr) -> str:
+    """Deterministic compact rendering (order-certificate matching)."""
+    if isinstance(e, Name):
+        return e.id
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, BoolLit):
+        return str(e.value)
+    if isinstance(e, BinOp):
+        return f"{render_expr(e.left)}{e.op}{render_expr(e.right)}"
+    if isinstance(e, Unary):
+        return f"{e.op}{render_expr(e.operand)}"
+    if isinstance(e, Index):
+        inner = ",".join(render_expr(i) for i in e.indices)
+        return f"{render_expr(e.base)}[{inner}]"
+    if isinstance(e, DimOf):
+        return (
+            f"{e.base}.size" if e.axis is None
+            else f"{e.base}.shape[{e.axis}]"
+        )
+    if isinstance(e, Cast):
+        return f"({e.ctype}){render_expr(e.operand)}"
+    if isinstance(e, Cond):
+        return (
+            f"{render_expr(e.test)}?{render_expr(e.then)}"
+            f":{render_expr(e.orelse)}"
+        )
+    return "?"
+
+
+def _assigned_names(stmts) -> set[str]:
+    out: set[str] = set()
+    for s in stmts:
+        if isinstance(s, Decl):
+            out.add(s.name)
+        elif isinstance(s, (Assign, AugAssign)):
+            if isinstance(s.target, Name):
+                out.add(s.target.id)
+        if isinstance(s, For):
+            out.add(s.var)
+            out |= _assigned_names(s.body)
+        elif isinstance(s, If):
+            out |= _assigned_names(s.body)
+            out |= _assigned_names(s.orelse)
+    return out
+
+
+def _increments_in(stmts, name: str) -> bool:
+    for s in stmts:
+        if (
+            isinstance(s, AugAssign)
+            and isinstance(s.target, Name)
+            and s.target.id == name
+        ):
+            return True
+        if isinstance(s, For) and _increments_in(s.body, name):
+            return True
+        if isinstance(s, If) and (
+            _increments_in(s.body, name) or _increments_in(s.orelse, name)
+        ):
+            return True
+    return False
+
+
+def _child_fors(stmts):
+    """Direct child loops of a body, looking through If branches."""
+    for s in stmts:
+        if isinstance(s, For):
+            yield s
+        elif isinstance(s, If):
+            yield from _child_fors(s.body)
+            yield from _child_fors(s.orelse)
+
+
+def _find_accumulators(func: NativeFunc) -> set[str]:
+    """Names initialised to 0 at function scope and only ever ``+= 1``."""
+    zeroed = set()
+    for s in func.body:
+        if isinstance(s, Decl) and isinstance(s.init, IntLit) and s.init.value == 0:
+            zeroed.add(s.name)
+        elif (
+            isinstance(s, Assign)
+            and isinstance(s.target, Name)
+            and isinstance(s.value, IntLit)
+            and s.value.value == 0
+        ):
+            zeroed.add(s.target.id)
+
+    def clean(stmts, top: bool) -> set[str]:
+        dirty: set[str] = set()
+        for s in stmts:
+            if isinstance(s, (Assign, Decl)) and not top:
+                n = s.name if isinstance(s, Decl) else (
+                    s.target.id if isinstance(s.target, Name) else None
+                )
+                if n:
+                    dirty.add(n)
+            if isinstance(s, AugAssign) and isinstance(s.target, Name):
+                if not (isinstance(s.value, IntLit) and s.value.value == 1
+                        and s.op == "+"):
+                    dirty.add(s.target.id)
+            if isinstance(s, For):
+                dirty.add(s.var)
+                dirty |= clean(s.body, False)
+            elif isinstance(s, If):
+                dirty |= clean(s.body, False)
+                dirty |= clean(s.orelse, False)
+        return dirty
+
+    return zeroed - clean(func.body, True)
+
+
+class _AbsInt:
+    """One run of the interpreter over one entry point."""
+
+    def __init__(self, func: NativeFunc, spec: EntrySpec):
+        self.func = func
+        self.spec = spec
+        self.syms = symbol_table()
+        self.diags: list[Diagnostic] = []
+        self.subject = f"native:{func.lang}:{func.name}"
+        self.regions: dict[str, Region] = {r.name: r for r in spec.regions}
+        self.extents: list[Poly] = [
+            r.extent(self.syms) for r in spec.regions
+        ] + [p for p in self.syms.values()]
+        # the kernel's regions coexist in one address space, so the sum
+        # of their element counts (plus the size symbols, each bounded
+        # by a region extent) is far below 2**63 — any 64-bit value
+        # dominated by it cannot overflow
+        total = Poly.const(0)
+        for e in self.extents:
+            total = total + e
+        self.extent_sum = total
+        self.flags: set[str] = {
+            p.name for p in spec.params if p.kind == "flag"
+        }
+        self.accs = _find_accumulators(func)
+        self.acc_total: dict[str, Poly | None] = {}
+        self.decl_widths: dict[str, int] = {}
+        self.env: dict[str, object] = {}
+        self.guards: set[str] = set()
+
+    # -- diagnostics ---------------------------------------------------
+    def _diag(self, code: str, lineno: int, msg: str, **data) -> None:
+        self.diags.append(
+            Diagnostic(
+                code, self.subject, f"line {lineno}: {msg}",
+                {"line": lineno, "function": self.func.name,
+                 "lang": self.func.lang, **data},
+            )
+        )
+
+    # -- entry ---------------------------------------------------------
+    def run(self) -> list[Diagnostic]:
+        params = self.spec.params
+        names = self.func.param_names()
+        if len(names) != len(params):
+            self._diag(
+                "SR060", self.func.lineno,
+                f"{self.func.name} takes {len(names)} parameters but its "
+                f"spec binds {len(params)}",
+            )
+            return self.diags
+        for pname, p in zip(names, params):
+            if p.kind == "region":
+                region = self.regions[p.region]
+                self.env[pname] = _Ptr(
+                    region.name, Interval.const(0), guard=region.guard
+                )
+            elif p.kind == "scalar":
+                self.env[pname] = _Scalar(
+                    Interval.exact(self.syms[p.symbol]), 64
+                )
+            else:  # flag
+                self.env[pname] = _Scalar(
+                    Interval(Poly.const(0), Poly.const(1)), 1
+                )
+        self._stmts(self.func.body)
+        return self.diags
+
+    # -- statements ----------------------------------------------------
+    def _stmts(self, stmts) -> None:
+        for s in stmts:
+            self._stmt(s)
+
+    def _stmt(self, s: Stmt) -> None:
+        if isinstance(s, Decl):
+            self._decl(s)
+        elif isinstance(s, Assign):
+            self._assign(s)
+        elif isinstance(s, AugAssign):
+            self._augassign(s)
+        elif isinstance(s, For):
+            self._for(s)
+        elif isinstance(s, If):
+            self._if(s)
+        elif isinstance(s, Return):
+            if s.value is not None:
+                self._eval(s.value)
+        # Break/Continue carry no dataflow the checks depend on
+
+    def _decl(self, s: Decl) -> None:
+        ctype = s.ctype
+        if s.init is None:
+            self.env[s.name] = _TOP_SCALAR
+            if ctype is not None and not ctype.pointer:
+                self.decl_widths[s.name] = ctype.bits
+            return
+        if isinstance(s.init, Cond):
+            # `p = cond ? base + off : NULL`: bind the non-null arm and
+            # re-guard the pointer on the declared name itself
+            self._eval(s.init.test)
+            value = self._eval(s.init.then)
+            if isinstance(value, _Ptr):
+                value = replace(value, guard=s.name)
+        else:
+            value = self._eval(s.init)
+        if ctype is not None and not ctype.pointer:
+            self.decl_widths[s.name] = ctype.bits
+            if isinstance(value, _Scalar):
+                self._check_store_width(
+                    value, ctype.bits, ctype.signed, s.lineno,
+                    f"initialiser of {ctype} {s.name}",
+                )
+        self.env[s.name] = value
+
+    def _assign(self, s: Assign) -> None:
+        value = self._eval(s.value)
+        if isinstance(s.target, Name):
+            width = self.decl_widths.get(s.target.id)
+            if width is not None and isinstance(value, _Scalar):
+                self._check_store_width(
+                    value, width, True, s.lineno,
+                    f"assignment to {s.target.id}",
+                )
+            self.env[s.target.id] = value
+        elif isinstance(s.target, Index):
+            self._access(s.target, store=True, value=value)
+
+    def _augassign(self, s: AugAssign) -> None:
+        value = self._eval(s.value)
+        if isinstance(s.target, Name):
+            name = s.target.id
+            old = self.env.get(name, _TOP_SCALAR)
+            if isinstance(old, _Scalar) and isinstance(value, _Scalar):
+                iv = (
+                    old.iv.add(value.iv) if s.op == "+"
+                    else old.iv.sub(value.iv) if s.op == "-"
+                    else TOP
+                )
+                new = _Scalar(iv, max(old.width, value.width))
+                if name not in self.accs:
+                    self._check_overflow(iv, s.lineno, f"{name} {s.op}= ...")
+                    width = self.decl_widths.get(name)
+                    if width is not None:
+                        self._check_store_width(
+                            new, width, True, s.lineno, f"{name} {s.op}=",
+                        )
+                self.env[name] = new
+            else:
+                self.env[name] = _TOP_SCALAR
+        elif isinstance(s.target, Index):
+            # in-place accumulation into a region (counts[t] += 1):
+            # bounds-check the subscript; int64 counter saturation is
+            # out of scope (the NumPy references share it)
+            self._access(s.target, store=True, value=value)
+
+    def _if(self, s: If) -> None:
+        self._eval(s.test)
+        saved_env = dict(self.env)
+        saved_guards = set(self.guards)
+        test = s.test
+        if isinstance(test, Name):
+            v = self.env.get(test.id)
+            if test.id in self.flags or (
+                isinstance(v, _Ptr) and v.guard == test.id
+            ):
+                self.guards.add(test.id)
+        self._stmts(s.body)
+        body_env = self.env
+        self.env = dict(saved_env)
+        self.guards = saved_guards
+        if s.orelse:
+            self._stmts(s.orelse)
+        self.env = self._merge(body_env, self.env)
+
+    def _merge(self, a: dict, b: dict) -> dict:
+        out: dict[str, object] = {}
+        for k in set(a) | set(b):
+            va, vb = a.get(k), b.get(k)
+            if isinstance(va, _Scalar) and isinstance(vb, _Scalar):
+                out[k] = _Scalar(va.iv.join(vb.iv), max(va.width, vb.width))
+            elif (
+                isinstance(va, _Ptr) and isinstance(vb, _Ptr)
+                and va.region == vb.region and va.guard == vb.guard
+            ):
+                out[k] = _Ptr(va.region, va.offset.join(vb.offset), va.guard)
+            elif va is not None and vb is None:
+                out[k] = va
+            elif vb is not None and va is None:
+                out[k] = vb
+            else:
+                out[k] = _TOP_SCALAR
+        return out
+
+    # -- loops ---------------------------------------------------------
+    def _trip_hi(self, s: For, init_iv: Interval, bound_iv: Interval):
+        if s.step == 1:
+            if init_iv.lo is None or bound_iv.hi is None:
+                return None
+            hi = bound_iv.hi - init_iv.lo
+            return hi + 1 if s.cond_op == "<=" else hi
+        if bound_iv.lo is None or init_iv.hi is None:
+            return None
+        hi = init_iv.hi - bound_iv.lo
+        return hi + 1 if s.cond_op == ">=" else hi
+
+    def _var_interval(self, s: For, init_iv, bound_iv) -> Interval:
+        if s.step == 1:
+            hi = bound_iv.hi
+            if s.cond_op == "<" and hi is not None:
+                hi = hi - 1
+            return Interval(init_iv.lo, hi)
+        lo = bound_iv.lo
+        if s.cond_op == ">" and lo is not None:
+            lo = lo + 1
+        return Interval(lo, init_iv.hi)
+
+    def _acc_total_for(self, s: For, acc: str) -> Poly | None:
+        """Product of trip counts over the chain enclosing ``acc``'s
+        increment, evaluated with outer loop vars at their intervals."""
+        saved = dict(self.env)
+        trips: list[Poly] = []
+        cur: For | None = s
+        try:
+            while cur is not None:
+                init_iv = (
+                    self._scalar(self._eval(cur.init)).iv
+                    if cur.init is not None
+                    else self._scalar(self.env.get(cur.var, _TOP_SCALAR)).iv
+                )
+                bound_iv = self._scalar(self._eval(cur.bound)).iv
+                trip = self._trip_hi(cur, init_iv, bound_iv)
+                if trip is None:
+                    return None
+                trips.append(trip)
+                self.env[cur.var] = _Scalar(
+                    self._var_interval(cur, init_iv, bound_iv), 64
+                )
+                # descend into the child loop holding the increment;
+                # stop when the increment sits directly in this body
+                cur = next(
+                    (
+                        child for child in _child_fors(cur.body)
+                        if _increments_in([child], acc)
+                    ),
+                    None,
+                )
+            return product(trips)
+        finally:
+            self.env = saved
+
+    def _for(self, s: For) -> None:
+        init_iv = (
+            self._scalar(self._eval(s.init)).iv if s.init is not None
+            else self._scalar(self.env.get(s.var, _TOP_SCALAR)).iv
+        )
+        bound_val = self._eval(s.bound)
+        bound = self._scalar(bound_val)
+        # a narrow declared induction variable needs narrow evidence
+        width = (
+            s.var_ctype.bits if s.var_ctype is not None
+            else self.decl_widths.get(s.var, 64)
+        )
+        if s.var_ctype is not None:
+            self.decl_widths[s.var] = s.var_ctype.bits
+        if width < 64 and bound.width > width and not (
+            bound.iv.lo is not None and bound.iv.hi is not None
+            and bound.iv.lo.is_const() and bound.iv.hi.is_const()
+        ):
+            self._diag(
+                "SR063", s.lineno,
+                f"loop variable {s.var} declared {width}-bit but its "
+                f"bound {render_expr(s.bound)} only fits {bound.width} bits",
+            )
+        var_iv = self._var_interval(s, init_iv, bound.iv)
+
+        # accumulators crossing this loop get their precise entry range
+        loop_accs = [a for a in self.accs if _increments_in(s.body, a)]
+        for acc in loop_accs:
+            if acc not in self.acc_total:
+                self.acc_total[acc] = self._acc_total_for(s, acc)
+
+        assigned = _assigned_names(s.body)
+        for name in assigned:
+            if name == s.var or name in self.accs:
+                continue
+            self.env[name] = _TOP_SCALAR
+        for acc in loop_accs:
+            total = self.acc_total.get(acc)
+            self.env[acc] = _Scalar(
+                Interval(Poly.const(0), total - 1)
+                if total is not None else TOP,
+                64,
+            )
+        self.env[s.var] = _Scalar(var_iv, min(width, bound.width))
+        self._stmts(s.body)
+        # post-loop: assigned names are iteration-dependent -> unknown,
+        # accumulators land in [0, total], the var at its exit range
+        for name in assigned:
+            if name in self.accs:
+                continue
+            self.env[name] = _TOP_SCALAR
+        for acc in loop_accs:
+            total = self.acc_total.get(acc)
+            self.env[acc] = _Scalar(
+                Interval(Poly.const(0), total)
+                if total is not None else TOP,
+                64,
+            )
+        self.env[s.var] = _Scalar(
+            Interval(init_iv.lo, bound.iv.hi) if s.step == 1
+            else Interval(bound.iv.lo, init_iv.hi),
+            min(width, bound.width),
+        )
+
+    # -- expressions ---------------------------------------------------
+    def _scalar(self, v) -> _Scalar:
+        return v if isinstance(v, _Scalar) else _TOP_SCALAR
+
+    def _eval(self, e: Expr):
+        if isinstance(e, Name):
+            return self.env.get(e.id, _TOP_SCALAR)
+        if isinstance(e, IntLit):
+            return _Scalar(
+                Interval.const(e.value), max(e.value.bit_length() + 1, 1)
+            )
+        if isinstance(e, BoolLit):
+            return _Scalar(Interval.const(int(e.value)), 1)
+        if isinstance(e, DimOf):
+            return self._dimof(e)
+        if isinstance(e, Cast):
+            value = self._eval(e.operand)
+            if e.ctype.pointer:
+                return value  # (int64_t *)0 — the null arm of a ternary
+            sv = self._scalar(value)
+            self._check_store_width(
+                sv, e.ctype.bits, e.ctype.signed, e.lineno,
+                f"cast to {e.ctype}",
+            )
+            return _Scalar(sv.iv, min(sv.width, e.ctype.bits))
+        if isinstance(e, Unary):
+            if e.op == "*":
+                base = self._eval(e.operand)
+                if isinstance(base, _Ptr):
+                    return self._load(base, Interval.const(0), e.lineno)
+                return _TOP_SCALAR
+            v = self._scalar(self._eval(e.operand))
+            if e.op == "-":
+                return _Scalar(v.iv.neg(), v.width)
+            return _Scalar(Interval(Poly.const(0), Poly.const(1)), 1)
+        if isinstance(e, Index):
+            return self._access(e, store=False)
+        if isinstance(e, Cond):
+            self._eval(e.test)
+            a, b = self._eval(e.then), self._eval(e.orelse)
+            if isinstance(a, _Scalar) and isinstance(b, _Scalar):
+                return _Scalar(a.iv.join(b.iv), max(a.width, b.width))
+            return a  # pointer ternaries are handled at Decl
+        if isinstance(e, BinOp):
+            return self._binop(e)
+        return _TOP_SCALAR
+
+    def _dimof(self, e: DimOf) -> _Scalar:
+        region = None
+        target = self.env.get(e.base)
+        if isinstance(target, _Ptr):
+            region = self.regions.get(target.region)
+        if region is None:
+            self._diag(
+                "SR062", e.lineno,
+                f"size query on unknown region {e.base!r}",
+            )
+            return _TOP_SCALAR
+        if e.axis is None:
+            return _Scalar(Interval.exact(region.extent(self.syms)), 64)
+        dims = region.dim_polys(self.syms)
+        if e.axis >= len(dims):
+            self._diag(
+                "SR062", e.lineno,
+                f"{e.base}.shape[{e.axis}] out of rank "
+                f"{len(dims)}",
+            )
+            return _TOP_SCALAR
+        return _Scalar(Interval.exact(dims[e.axis]), 64)
+
+    def _binop(self, e: BinOp):
+        left = self._eval(e.left)
+        right = self._eval(e.right)
+        # pointer arithmetic: base + offset stays in the base's region
+        if isinstance(left, _Ptr) or isinstance(right, _Ptr):
+            ptr, off = (
+                (left, right) if isinstance(left, _Ptr) else (right, left)
+            )
+            off_s = self._scalar(off)
+            if e.op == "+":
+                return _Ptr(ptr.region, ptr.offset.add(off_s.iv), ptr.guard)
+            if e.op == "-" and isinstance(left, _Ptr):
+                return _Ptr(ptr.region, ptr.offset.sub(off_s.iv), ptr.guard)
+            self._diag(
+                "SR062", e.lineno,
+                f"unsupported pointer operation {e.op!r}",
+            )
+            return _TOP_SCALAR
+        ls, rs = self._scalar(left), self._scalar(right)
+        if e.op in _CMP or e.op in ("&&", "||"):
+            return _Scalar(Interval(Poly.const(0), Poly.const(1)), 1)
+        if e.op == "+":
+            iv = ls.iv.add(rs.iv)
+        elif e.op == "-":
+            iv = ls.iv.sub(rs.iv)
+        elif e.op == "*":
+            iv = ls.iv.mul(rs.iv)
+        else:  # / % — magnitude never grows; keep it unknown but safe
+            return _Scalar(TOP, max(ls.width, rs.width))
+        self._check_overflow(iv, e.lineno, render_expr(e))
+        return _Scalar(iv, 64)
+
+    # -- memory --------------------------------------------------------
+    def _access(self, e: Index, store: bool, value=None):
+        base = self._eval(e.base)
+        if not isinstance(base, _Ptr):
+            self._diag(
+                "SR062", e.lineno,
+                f"subscript of non-array {render_expr(e.base)}",
+            )
+            return _TOP_SCALAR
+        region = self.regions.get(base.region)
+        if region is None:
+            self._diag("SR062", e.lineno, f"unknown region {base.region!r}")
+            return _TOP_SCALAR
+        if base.guard is not None and base.guard not in self.guards:
+            self._diag(
+                "SR062", e.lineno,
+                f"access to gated region {region.name!r} without testing "
+                f"its guard {base.guard!r} on this path",
+            )
+        idx_ivs = [self._scalar(self._eval(i)).iv for i in e.indices]
+        dims = region.dim_polys(self.syms)
+        zero_off = (
+            base.offset.lo is not None and base.offset.hi is not None
+            and base.offset.lo.const_value() == 0
+            and base.offset.hi.const_value() == 0
+        )
+        if len(idx_ivs) == len(dims) and len(dims) > 1 and zero_off:
+            for k, (iv, dim) in enumerate(zip(idx_ivs, dims)):
+                self._check_bounds(
+                    iv, dim, e.lineno,
+                    f"{render_expr(e)} axis {k} of {region.name}"
+                    f"({'x'.join(region.dims)})",
+                )
+        elif len(idx_ivs) == 1:
+            off = base.offset.add(idx_ivs[0])
+            self._check_bounds(
+                off, region.extent(self.syms), e.lineno,
+                f"{render_expr(e)} into {region.name}"
+                f"[{ '*'.join(region.dims) }]",
+            )
+        else:
+            self._diag(
+                "SR062", e.lineno,
+                f"{render_expr(e)}: {len(idx_ivs)} indices against "
+                f"{len(dims)}-d region {region.name}",
+            )
+            return _TOP_SCALAR
+        if store:
+            if not region.writable:
+                self._diag(
+                    "SR062", e.lineno,
+                    f"store into read-only region {region.name}",
+                )
+            if isinstance(value, _Scalar):
+                from .nir import DTYPE_CTYPES
+                ct = DTYPE_CTYPES.get(region.dtype)
+                if ct is not None:
+                    self._check_store_width(
+                        value, ct.bits, ct.signed, e.lineno,
+                        f"store into {region.dtype} region {region.name}",
+                    )
+            return None
+        return self._load(base, idx_ivs[0] if len(idx_ivs) == 1 else None,
+                          e.lineno, region)
+
+    def _load(self, base: _Ptr, off, lineno: int, region=None) -> _Scalar:
+        region = region or self.regions.get(base.region)
+        if region is None:
+            return _TOP_SCALAR
+        rng = region.value_interval(self.syms)
+        if rng is not None:
+            return _Scalar(rng, self._dtype_width(region.dtype))
+        if region.dtype == "uint8":
+            return _Scalar(
+                Interval(Poly.const(0), Poly.const(255)), 9
+            )
+        return _Scalar(TOP, self._dtype_width(region.dtype))
+
+    @staticmethod
+    def _dtype_width(dtype: str) -> int:
+        return {"int64": 64, "int32": 32, "uint8": 9, "bool": 1}.get(
+            dtype, 64
+        )
+
+    # -- proof obligations ---------------------------------------------
+    def _check_bounds(self, off: Interval, extent: Poly, lineno: int,
+                      what: str) -> None:
+        lo_ok = off.lo is not None and off.lo.is_nonneg()
+        hi_ok = off.hi is not None and off.hi <= extent - 1
+        if not (lo_ok and hi_ok):
+            self._diag(
+                "SR062", lineno,
+                f"cannot prove {what} in bounds: offset in {off}, "
+                f"extent {extent}",
+                offset=str(off), extent=str(extent),
+            )
+
+    def _check_overflow(self, iv: Interval, lineno: int, what: str) -> None:
+        if iv.lo is None or iv.hi is None:
+            self._diag(
+                "SR063", lineno,
+                f"{what}: unbounded 64-bit arithmetic", interval=str(iv),
+            )
+            return
+        lc, hc = iv.lo.const_value(), iv.hi.const_value()
+        if lc is not None and hc is not None:
+            if -(2 ** 63) <= lc and hc <= 2 ** 63 - 1:
+                return
+        lo_ok = iv.lo.is_nonneg() or (iv.lo + self.extent_sum).is_nonneg()
+        hi_ok = iv.hi <= self.extent_sum
+        if not (lo_ok and hi_ok):
+            self._diag(
+                "SR063", lineno,
+                f"{what}: result in {iv} is not dominated by the "
+                f"region extents, 64-bit overflow not ruled out",
+                interval=str(iv),
+            )
+
+    def _check_store_width(self, value: _Scalar, bits: int, signed: bool,
+                           lineno: int, what: str) -> None:
+        lc = value.iv.lo.const_value() if value.iv.lo is not None else None
+        hc = value.iv.hi.const_value() if value.iv.hi is not None else None
+        if lc is not None and hc is not None:
+            lo_min = -(2 ** (bits - 1)) if signed else 0
+            hi_max = 2 ** (bits - 1) - 1 if signed else 2 ** bits - 1
+            if lo_min <= lc and hc <= hi_max:
+                return
+        elif signed and value.width <= bits:
+            return
+        self._diag(
+            "SR063", lineno,
+            f"{what} may truncate: value in {value.iv} "
+            f"(width evidence {value.width} bits) into {bits} bits",
+            interval=str(value.iv), bits=bits,
+        )
+
+
+def analyze_entry(func: NativeFunc, spec: EntrySpec) -> list[Diagnostic]:
+    """Bounds (SR062) and overflow (SR063) proofs for one entry point."""
+    return _AbsInt(func, spec).run()
+
+
+# ----------------------------------------------------------------------
+# SR064: loop-order admissibility
+# ----------------------------------------------------------------------
+
+def _all_fors(stmts) -> list[For]:
+    out = []
+    for s in stmts:
+        if isinstance(s, For):
+            out.append(s)
+            out.extend(_all_fors(s.body))
+        elif isinstance(s, If):
+            out.extend(_all_fors(s.body))
+            out.extend(_all_fors(s.orelse))
+    return out
+
+
+def _direct_fors(stmts) -> list[For]:
+    return [s for s in stmts if isinstance(s, For)]
+
+
+def _ptr_origins(func: NativeFunc) -> dict[str, str]:
+    """Local pointer name -> root region-parameter name (C tier)."""
+    params = set(func.param_names())
+    origins: dict[str, str] = {}
+
+    def root(e: Expr) -> str | None:
+        while True:
+            if isinstance(e, Name):
+                if e.id in params:
+                    return e.id
+                return origins.get(e.id)
+            if isinstance(e, BinOp):
+                e = e.left
+            elif isinstance(e, Cond):
+                e = e.then
+            elif isinstance(e, Cast):
+                e = e.operand
+            else:
+                return None
+
+    def walk(stmts) -> None:
+        for s in stmts:
+            if isinstance(s, Decl) and s.ctype is not None and s.ctype.pointer:
+                if s.init is not None:
+                    r = root(s.init)
+                    if r:
+                        origins[s.name] = r
+            if isinstance(s, For):
+                walk(s.body)
+            elif isinstance(s, If):
+                walk(s.body)
+                walk(s.orelse)
+
+    walk(func.body)
+    return origins
+
+
+def _writes_region(stmts, roots: set[str], origins: dict[str, str],
+                   params: set[str]) -> bool:
+    def base_root(e: Expr) -> str | None:
+        while isinstance(e, Index):
+            e = e.base
+        if isinstance(e, Name):
+            return e.id if e.id in params else origins.get(e.id)
+        return None
+
+    for s in stmts:
+        if isinstance(s, (Assign, AugAssign)) and isinstance(s.target, Index):
+            if base_root(s.target) in roots:
+                return True
+        if isinstance(s, For) and _writes_region(s.body, roots, origins, params):
+            return True
+        if isinstance(s, If) and (
+            _writes_region(s.body, roots, origins, params)
+            or _writes_region(s.orelse, roots, origins, params)
+        ):
+            return True
+    return False
+
+
+def _has_break(stmts) -> bool:
+    for s in stmts:
+        if isinstance(s, Break):
+            return True
+        if isinstance(s, If) and (_has_break(s.body) or _has_break(s.orelse)):
+            return True
+        # a nested For's break exits that loop, not this one
+    return False
+
+
+def check_order(func: NativeFunc, spec: EntrySpec) -> list[Diagnostic]:
+    """SR064: is the executed order admissible per the certificate?"""
+    diags: list[Diagnostic] = []
+    subject = f"native:{func.lang}:{func.name}"
+
+    def diag(lineno: int, msg: str, **data) -> None:
+        diags.append(
+            Diagnostic(
+                "SR064", subject, f"line {lineno}: {msg}",
+                {"line": lineno, "function": func.name,
+                 "lang": func.lang, **data},
+            )
+        )
+
+    # rule 1: no loop anywhere runs descending (strictness of the bound
+    # comparison is a stream-loop property, checked in rule 2 — an
+    # off-by-one `<=` on a change loop is a bounds bug, not order drift)
+    for loop in _all_fors(func.body):
+        if loop.step != 1:
+            diag(
+                loop.lineno,
+                f"loop over {loop.var} runs descending ({loop.cond_op}, "
+                f"step {loop.step:+d}); the reference order is strictly "
+                f"ascending",
+                var=loop.var,
+            )
+
+    # rule 2: the stream-loop chain matches the order certificate
+    body = func.body
+    chain: list[For] = []
+    for level, ls in enumerate(spec.order):
+        fors = _direct_fors(body)
+        if len(fors) != 1:
+            diag(
+                func.lineno,
+                f"expected exactly one stream loop at nesting level "
+                f"{level}, found {len(fors)}",
+            )
+            return diags
+        loop = fors[0]
+        chain.append(loop)
+        init_r = render_expr(loop.init) if loop.init is not None else "?"
+        bound_r = render_expr(loop.bound)
+        if loop.step == 1 and loop.cond_op != "<":
+            diag(
+                loop.lineno,
+                f"stream loop uses non-strict bound ({loop.cond_op}); "
+                f"the certificate requires half-open ascending coverage",
+            )
+        if init_r not in ls.inits or bound_r not in ls.bounds:
+            diag(
+                loop.lineno,
+                f"stream loop runs {init_r}..{bound_r}, certificate "
+                f"admits {'/'.join(ls.inits)}..{'/'.join(ls.bounds)}",
+                init=init_r, bound=bound_r,
+            )
+        body = loop.body
+
+    # rule 3: inside the innermost stream loop, the source-check loop
+    # (the one that can break) precedes the state-write loop
+    if not chain:
+        return diags
+    inner = chain[-1].body
+    origins = _ptr_origins(func)
+    params = set(func.param_names())
+    state_regions = {
+        r.name for r in spec.regions if r.writable and r.dtype == "uint8"
+    }
+    state_roots = {
+        p.name for p in spec.params
+        if p.kind == "region" and p.region in state_regions
+    }
+    check_pos = write_pos = None
+    for pos, s in enumerate(inner):
+        if isinstance(s, For):
+            if check_pos is None and _has_break(s.body):
+                check_pos = pos
+            if write_pos is None and _writes_region(
+                [s], state_roots, origins, params
+            ):
+                write_pos = pos
+    if write_pos is not None and (check_pos is None or check_pos > write_pos):
+        diag(
+            chain[-1].lineno,
+            "state-write loop precedes the source-check loop; the "
+            "reference executes check-then-write per trial",
+        )
+    return diags

@@ -1,0 +1,469 @@
+"""A mini C front-end for the cnative translation unit.
+
+The ``cnative`` backend compiles one translation unit written in a
+deliberately restricted C subset: fixed-width scalar types
+(``stdint.h``), pointer parameters into caller-owned buffers, counted
+``for`` loops, ``if``/``break``/``continue``/``return`` — no function
+calls, no address-of, no heap, no structs, no globals.  This module
+tokenizes and parses exactly that subset into the shared NIR
+(:mod:`repro.lint.native.nir`) and **rejects** everything else with a
+:class:`~repro.lint.native.nir.NativeSyntaxError`: a construct the
+verifier cannot reason about must not silently reach the compiler
+trusted with lattice memory.
+
+Grammar (recursive descent, precedence climbing for expressions)::
+
+    unit      := { include | function }
+    function  := type IDENT '(' params ')' '{' stmt* '}'
+    stmt      := decl ';' | expr ';' | for | if | 'break' ';'
+               | 'continue' ';' | 'return' expr? ';' | '{' stmt* '}'
+    decl      := ['const'] type ['*'] IDENT ['=' expr]
+    for       := 'for' '(' (decl | expr)? ';' expr? ';' expr? ')' stmt
+    expr      := ternary with C operator precedence
+
+Assignment/increment expressions are statement-level only (their value
+is never consumed), matching how the translation unit is written.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .nir import (
+    INT32,
+    INT64,
+    UINT8,
+    VOID,
+    Assign,
+    AugAssign,
+    BinOp,
+    Break,
+    Cast,
+    Cond,
+    Continue,
+    CType,
+    Decl,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Index,
+    Name,
+    NativeFunc,
+    NativeSyntaxError,
+    Return,
+    Stmt,
+    Unary,
+)
+
+__all__ = ["parse_c_unit", "tokenize"]
+
+_TYPE_NAMES: dict[str, CType] = {
+    "int64_t": INT64,
+    "int32_t": INT32,
+    "uint8_t": UINT8,
+    "void": VOID,
+}
+
+_KEYWORDS = {
+    "for", "if", "else", "while", "break", "continue", "return", "const",
+} | set(_TYPE_NAMES)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|/\*.*?\*/|//[^\n]*)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct><<=|>>=|\+\+|--|&&|\|\||<=|>=|==|!=|\+=|-=|\*=|/=|%=|->|[-+*/%<>=!&|?:;,(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # num | ident | punct
+    text: str
+    lineno: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a translation unit; rejects unknown characters."""
+    tokens: list[Token] = []
+    pos = 0
+    lineno = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            snippet = source[pos: pos + 20].splitlines()[0]
+            raise NativeSyntaxError(
+                f"line {lineno}: unexpected character {snippet!r}"
+            )
+        text = m.group(0)
+        if m.lastgroup != "ws":
+            tokens.append(Token(m.lastgroup or "?", text, lineno))
+        lineno += text.count("\n")
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token | None:
+        i = self.pos + ahead
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise NativeSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.text == text
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if tok is None or tok.text != text:
+            got = tok.text if tok else "<eof>"
+            line = tok.lineno if tok else "?"
+            raise NativeSyntaxError(f"line {line}: expected {text!r}, got {got!r}")
+        return self.next()
+
+    def _err(self, msg: str) -> NativeSyntaxError:
+        tok = self.peek()
+        line = tok.lineno if tok else "?"
+        return NativeSyntaxError(f"line {line}: {msg}")
+
+    # -- types ---------------------------------------------------------
+    def at_type(self) -> bool:
+        tok = self.peek()
+        if tok is None:
+            return False
+        if tok.text == "const":
+            tok = self.peek(1)
+            return tok is not None and tok.text in _TYPE_NAMES
+        return tok.text in _TYPE_NAMES
+
+    def parse_type(self) -> CType:
+        const = self.accept("const")
+        tok = self.next()
+        base = _TYPE_NAMES.get(tok.text)
+        if base is None:
+            raise NativeSyntaxError(
+                f"line {tok.lineno}: unknown type {tok.text!r} (the "
+                f"restricted subset allows {sorted(_TYPE_NAMES)})"
+            )
+        pointer = self.accept("*")
+        return CType(base.name, base.bits, base.signed, pointer=pointer, const=const)
+
+    # -- translation unit ----------------------------------------------
+    def parse_unit(self) -> list[NativeFunc]:
+        funcs: list[NativeFunc] = []
+        while self.peek() is not None:
+            # preprocessor lines were stripped before tokenizing
+            funcs.append(self.parse_function())
+        return funcs
+
+    def parse_function(self) -> NativeFunc:
+        ret = self.parse_type()
+        name_tok = self.next()
+        if name_tok.kind != "ident" or name_tok.text in _KEYWORDS:
+            raise NativeSyntaxError(
+                f"line {name_tok.lineno}: expected function name, got "
+                f"{name_tok.text!r}"
+            )
+        self.expect("(")
+        params: list[tuple[str, CType]] = []
+        if not self.at(")"):
+            while True:
+                ptype = self.parse_type()
+                ptok = self.next()
+                if ptok.kind != "ident":
+                    raise NativeSyntaxError(
+                        f"line {ptok.lineno}: expected parameter name"
+                    )
+                params.append((ptok.text, ptype))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return NativeFunc(
+            name=name_tok.text,
+            params=tuple(params),
+            ret=ret,
+            body=tuple(body),
+            lang="c",
+            lineno=name_tok.lineno,
+        )
+
+    # -- statements ----------------------------------------------------
+    def parse_block(self) -> list[Stmt]:
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.at("}"):
+            stmts.extend(self.parse_stmt())
+        self.expect("}")
+        return stmts
+
+    def parse_stmt(self) -> list[Stmt]:
+        tok = self.peek()
+        assert tok is not None
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "for":
+            return [self.parse_for()]
+        if tok.text == "if":
+            return [self.parse_if()]
+        if tok.text == "while":
+            raise self._err(
+                "while loops are outside the restricted subset (use a "
+                "counted for loop)"
+            )
+        if self.accept("break"):
+            self.expect(";")
+            return [Break(lineno=tok.lineno)]
+        if self.accept("continue"):
+            self.expect(";")
+            return [Continue(lineno=tok.lineno)]
+        if self.accept("return"):
+            value = None if self.at(";") else self.parse_expr()
+            self.expect(";")
+            return [Return(value, lineno=tok.lineno)]
+        if self.at_type():
+            decl = self.parse_decl()
+            self.expect(";")
+            return [decl]
+        stmt = self.parse_expr_stmt()
+        self.expect(";")
+        return [stmt]
+
+    def parse_decl(self) -> Decl:
+        tok = self.peek()
+        assert tok is not None
+        ctype = self.parse_type()
+        name_tok = self.next()
+        if name_tok.kind != "ident":
+            raise NativeSyntaxError(
+                f"line {name_tok.lineno}: expected declarator name"
+            )
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        return Decl(name_tok.text, ctype, init, lineno=tok.lineno)
+
+    def parse_expr_stmt(self) -> Stmt:
+        """Assignment / compound assignment / increment as a statement."""
+        tok = self.peek()
+        assert tok is not None
+        if tok.text in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            if not isinstance(target, Name):
+                raise self._err("++/-- applies to a variable only")
+            op = "+" if tok.text == "++" else "-"
+            return AugAssign(target, op, IntLit(1, tok.lineno), lineno=tok.lineno)
+        expr = self.parse_ternary()
+        nxt = self.peek()
+        if nxt is not None and nxt.text == "=":
+            self.next()
+            value = self.parse_expr()
+            if not isinstance(expr, (Name, Index, Unary)):
+                raise self._err("unsupported assignment target")
+            return Assign(expr, value, lineno=tok.lineno)
+        if nxt is not None and nxt.text in ("+=", "-=", "*=", "/=", "%="):
+            self.next()
+            value = self.parse_expr()
+            if not isinstance(expr, (Name, Index, Unary)):
+                raise self._err("unsupported assignment target")
+            return AugAssign(expr, nxt.text[0], value, lineno=tok.lineno)
+        if nxt is not None and nxt.text in ("++", "--"):
+            self.next()
+            if not isinstance(expr, Name):
+                raise self._err("++/-- applies to a variable only")
+            op = "+" if nxt.text == "++" else "-"
+            return AugAssign(expr, op, IntLit(1, tok.lineno), lineno=tok.lineno)
+        raise self._err(
+            "expression statements without effect are outside the subset"
+        )
+
+    def parse_for(self) -> For:
+        tok = self.expect("for")
+        self.expect("(")
+        init_name: str | None = None
+        init_ctype: CType | None = None
+        init_expr: Expr | None = None
+        if not self.at(";"):
+            if self.at_type():
+                decl = self.parse_decl()
+                init_name, init_ctype, init_expr = decl.name, decl.ctype, decl.init
+            else:
+                stmt = self.parse_expr_stmt()
+                if not (isinstance(stmt, Assign) and isinstance(stmt.target, Name)):
+                    raise self._err("for-init must assign the induction variable")
+                init_name, init_expr = stmt.target.id, stmt.value
+        self.expect(";")
+        if self.at(";"):
+            raise self._err("for loops need a bound condition")
+        cond = self.parse_expr()
+        self.expect(";")
+        if self.at(")"):
+            raise self._err("for loops need an increment")
+        step_stmt = self.parse_expr_stmt()
+        self.expect(")")
+        body_stmts = self.parse_stmt()
+
+        if not (
+            isinstance(step_stmt, AugAssign)
+            and isinstance(step_stmt.target, Name)
+            and isinstance(step_stmt.value, IntLit)
+            and step_stmt.value.value == 1
+            and step_stmt.op in ("+", "-")
+        ):
+            raise self._err("for-increment must be ++v / --v / v += 1")
+        var = step_stmt.target.id
+        step = 1 if step_stmt.op == "+" else -1
+        if init_name is not None and init_name != var:
+            raise self._err(
+                f"for-init declares {init_name!r} but the increment "
+                f"steps {var!r}"
+            )
+        if not (
+            isinstance(cond, BinOp)
+            and cond.op in ("<", "<=", ">", ">=")
+            and isinstance(cond.left, Name)
+            and cond.left.id == var
+        ):
+            raise self._err(
+                "for-condition must compare the induction variable "
+                "against a bound"
+            )
+        return For(
+            var=var,
+            var_ctype=init_ctype,
+            init=init_expr,
+            cond_op=cond.op,
+            bound=cond.right,
+            step=step,
+            body=tuple(body_stmts),
+            lineno=tok.lineno,
+        )
+
+    def parse_if(self) -> If:
+        tok = self.expect("if")
+        self.expect("(")
+        test = self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        orelse: list[Stmt] = []
+        if self.accept("else"):
+            orelse = self.parse_stmt()
+        return If(test, tuple(body), tuple(orelse), lineno=tok.lineno)
+
+    # -- expressions (precedence climbing) -----------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_ternary()
+            self.expect(":")
+            orelse = self.parse_ternary()
+            return Cond(cond, then, orelse, lineno=_lineno(cond))
+        return cond
+
+    _LEVELS: tuple[tuple[str, ...], ...] = (
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def parse_binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        while True:
+            tok = self.peek()
+            if tok is None or tok.text not in self._LEVELS[level]:
+                return left
+            self.next()
+            right = self.parse_binary(level + 1)
+            left = BinOp(tok.text, left, right, lineno=tok.lineno)
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        assert tok is not None
+        if tok.text in ("-", "!", "*"):
+            self.next()
+            return Unary(tok.text, self.parse_unary(), lineno=tok.lineno)
+        if tok.text == "(":
+            # cast or parenthesised expression
+            nxt = self.peek(1)
+            if nxt is not None and (
+                nxt.text in _TYPE_NAMES or nxt.text == "const"
+            ):
+                self.next()
+                ctype = self.parse_type()
+                self.expect(")")
+                return Cast(ctype, self.parse_unary(), lineno=tok.lineno)
+            self.next()
+            inner = self.parse_expr()
+            self.expect(")")
+            return self.parse_postfix(inner)
+        if tok.kind == "num":
+            self.next()
+            return IntLit(int(tok.text, 0), lineno=tok.lineno)
+        if tok.kind == "ident" and tok.text not in _KEYWORDS:
+            self.next()
+            return self.parse_postfix(Name(tok.text, lineno=tok.lineno))
+        raise self._err(f"unexpected token {tok.text!r} in expression")
+
+    def parse_postfix(self, base: Expr) -> Expr:
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.text == "[":
+                self.next()
+                idx = self.parse_expr()
+                self.expect("]")
+                base = Index(base, (idx,), lineno=tok.lineno)
+                continue
+            if tok is not None and tok.text == "(":
+                raise self._err(
+                    "function calls are outside the restricted subset"
+                )
+            return base
+
+
+def _lineno(expr: Expr) -> int:
+    return getattr(expr, "lineno", 0)
+
+
+_PREPROC_RE = re.compile(r"^\s*#.*$", re.MULTILINE)
+
+
+def parse_c_unit(source: str) -> list[NativeFunc]:
+    """Parse one restricted-C translation unit into NIR functions.
+
+    Preprocessor lines (``#include <stdint.h>``) are stripped; the
+    verifier's type table *is* the stdint contract.  Raises
+    :class:`NativeSyntaxError` for anything outside the subset.
+    """
+    stripped = _PREPROC_RE.sub("", source)
+    return _Parser(tokenize(stripped)).parse_unit()

@@ -1,0 +1,279 @@
+"""NIR — the typed native IR shared by the C and numba front-ends.
+
+Both compiled tiers implement the *same* strict-order trial loops: the
+``cnative`` tier as a restricted-C translation unit, the ``numba`` tier
+as ``@njit`` python loops over the same packed tables.  The two
+front-ends (:mod:`repro.lint.native.cfront`,
+:mod:`repro.lint.native.pyfront`) lower both surface syntaxes into this
+one IR so a single abstract interpreter
+(:mod:`repro.lint.native.absint`) carries the SR062/SR063/SR064 proofs
+for both tiers — the native analogue of how
+:mod:`repro.lint.ir` serves every NumPy kernel.
+
+The IR is deliberately tiny: the translation units are a restricted
+language by construction (no calls, no heap, no aliasing beyond
+pointer-plus-offset into caller buffers), and the front-ends *reject*
+anything outside that fragment instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "CType",
+    "VOID",
+    "INT64",
+    "INT32",
+    "UINT8",
+    "BOOL",
+    "Expr",
+    "Name",
+    "IntLit",
+    "BoolLit",
+    "BinOp",
+    "Unary",
+    "Index",
+    "DimOf",
+    "Cast",
+    "Cond",
+    "Stmt",
+    "Decl",
+    "Assign",
+    "AugAssign",
+    "For",
+    "If",
+    "Break",
+    "Continue",
+    "Return",
+    "NativeFunc",
+    "NativeSyntaxError",
+    "DTYPE_CTYPES",
+    "LoopShape",
+]
+
+
+class NativeSyntaxError(ValueError):
+    """The source is outside the restricted native fragment."""
+
+
+@dataclass(frozen=True)
+class CType:
+    """A scalar or pointer type of the restricted fragment."""
+
+    name: str  # int64 | int32 | uint8 | bool | void
+    bits: int
+    signed: bool
+    pointer: bool = False
+    const: bool = False
+
+    def deref(self) -> "CType":
+        if not self.pointer:
+            raise NativeSyntaxError(f"dereference of non-pointer {self}")
+        return CType(self.name, self.bits, self.signed, pointer=False)
+
+    def __str__(self) -> str:
+        core = f"{'u' if not self.signed and self.bits > 1 else ''}{self.name}"
+        return f"{core}{'*' if self.pointer else ''}"
+
+
+VOID = CType("void", 0, True)
+INT64 = CType("int64", 64, True)
+INT32 = CType("int32", 32, True)
+UINT8 = CType("uint8", 8, False)
+BOOL = CType("bool", 1, False)
+
+#: numpy dtype name -> NIR scalar type
+DTYPE_CTYPES: dict[str, CType] = {
+    "int64": INT64,
+    "int32": INT32,
+    "uint8": UINT8,
+    "bool": BOOL,
+}
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Name:
+    id: str
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """op in {+ - * / % < <= > >= == != && ||}."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    """op in {- ! *}; ``*`` is pointer dereference (C only)."""
+
+    op: str
+    operand: "Expr"
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    """``base[i0, i1, ...]`` — one index for flat C pointers, one per
+    declared region dimension for the numba twins."""
+
+    base: "Expr"
+    indices: tuple["Expr", ...]
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class DimOf:
+    """``arr.shape[axis]`` / ``arr.size`` (axis=None) from the numba
+    twins — resolved against the region's declared dims."""
+
+    base: str
+    axis: int | None
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Cast:
+    ctype: CType
+    operand: "Expr"
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Cond:
+    """Ternary ``test ? then : orelse``."""
+
+    test: "Expr"
+    then: "Expr"
+    orelse: "Expr"
+    lineno: int = 0
+
+
+Expr = Union[Name, IntLit, BoolLit, BinOp, Unary, Index, DimOf, Cast, Cond]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Decl:
+    """``ctype name = init;`` (python assignments use ctype=None)."""
+
+    name: str
+    ctype: CType | None
+    init: Expr | None
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Expr  # Name or Index
+    value: Expr
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class AugAssign:
+    target: Expr  # Name or Index
+    op: str
+    value: Expr
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    """Canonicalised counted loop.
+
+    ``init`` may be None when the induction variable was initialised
+    before the loop (C's ``for (; c < nc; ++c)`` idiom).  ``cond_op``
+    is one of ``< <= > >=`` against ``bound``; ``step`` is ±1.
+    """
+
+    var: str
+    var_ctype: CType | None
+    init: Expr | None
+    cond_op: str
+    bound: Expr
+    step: int
+    body: tuple["Stmt", ...]
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    test: Expr
+    body: tuple["Stmt", ...]
+    orelse: tuple["Stmt", ...] = ()
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Break:
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Continue:
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Expr | None
+    lineno: int = 0
+
+
+Stmt = Union[Decl, Assign, AugAssign, For, If, Break, Continue, Return]
+
+
+@dataclass(frozen=True)
+class NativeFunc:
+    """One lowered native entry point."""
+
+    name: str
+    params: tuple[tuple[str, CType], ...]
+    ret: CType
+    body: tuple[Stmt, ...]
+    lang: str  # "c" | "numba"
+    lineno: int = 0
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.params)
+
+
+@dataclass
+class LoopShape:
+    """Structural summary of one counted loop, for the SR064 check."""
+
+    var: str
+    init: str  # rendered init expression ("0", "starts[r]", "?")
+    bound: str  # rendered bound expression
+    cond_op: str
+    step: int
+    depth: int
+    lineno: int = 0
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)

@@ -1,0 +1,252 @@
+"""Python front-end: lower the ``@njit`` twins into NIR.
+
+The numba tier's kernels are plain python functions nested inside
+:func:`repro.backends.numba_jit._jit` (so the module imports without
+numba).  This front-end reads the *source* of that module, extracts the
+inner ``FunctionDef`` nodes by name and lowers their restricted python
+into the same NIR the C front-end produces — no numba import, no
+execution: the verifier sees exactly the loops the JIT will compile.
+
+The accepted fragment mirrors the C subset: ``range`` loops,
+``if``/``break``/``continue``/``return``, integer arithmetic,
+subscripts, ``.size``/``.shape[k]`` queries, boolean flags.  Anything
+else raises :class:`~repro.lint.native.nir.NativeSyntaxError` — the
+verifier refuses to guess about code it cannot model.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+from .nir import (
+    VOID,
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolLit,
+    Break,
+    Continue,
+    DimOf,
+    Expr,
+    For,
+    If,
+    Index,
+    IntLit,
+    Name,
+    NativeFunc,
+    NativeSyntaxError,
+    Return,
+    Stmt,
+    Unary,
+)
+
+__all__ = ["parse_numba_funcs", "jit_source"]
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.FloorDiv: "/",
+    ast.Mod: "%",
+}
+
+_CMPOPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+
+def jit_source(module=None) -> str:
+    """The source text of the numba backend module."""
+    if module is None:
+        from ...backends import numba_jit as module  # noqa: PLC0415
+    return inspect.getsource(module)
+
+
+def _err(node: ast.AST, msg: str) -> NativeSyntaxError:
+    line = getattr(node, "lineno", "?")
+    return NativeSyntaxError(f"line {line}: {msg}")
+
+
+def _lower_expr(node: ast.expr) -> Expr:
+    if isinstance(node, ast.Name):
+        return Name(node.id, lineno=node.lineno)
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return BoolLit(node.value, lineno=node.lineno)
+        if isinstance(node.value, int):
+            return IntLit(node.value, lineno=node.lineno)
+        raise _err(node, f"unsupported constant {node.value!r}")
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise _err(node, f"unsupported operator {ast.dump(node.op)}")
+        return BinOp(
+            op, _lower_expr(node.left), _lower_expr(node.right),
+            lineno=node.lineno,
+        )
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise _err(node, "chained comparisons are outside the subset")
+        op = _CMPOPS.get(type(node.ops[0]))
+        if op is None:
+            raise _err(node, "unsupported comparison")
+        return BinOp(
+            op, _lower_expr(node.left), _lower_expr(node.comparators[0]),
+            lineno=node.lineno,
+        )
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.Not):
+            return Unary("!", _lower_expr(node.operand), lineno=node.lineno)
+        if isinstance(node.op, ast.USub):
+            return Unary("-", _lower_expr(node.operand), lineno=node.lineno)
+        raise _err(node, "unsupported unary operator")
+    if isinstance(node, ast.Subscript):
+        return _lower_subscript(node)
+    if isinstance(node, ast.Attribute):
+        if node.attr == "size" and isinstance(node.value, ast.Name):
+            return DimOf(node.value.id, None, lineno=node.lineno)
+        raise _err(node, f"unsupported attribute .{node.attr}")
+    raise _err(node, f"unsupported expression {type(node).__name__}")
+
+
+def _lower_subscript(node: ast.Subscript) -> Expr:
+    # arr.shape[k] -> DimOf(arr, k)
+    if (
+        isinstance(node.value, ast.Attribute)
+        and node.value.attr == "shape"
+        and isinstance(node.value.value, ast.Name)
+    ):
+        axis = node.slice
+        if not (isinstance(axis, ast.Constant) and isinstance(axis.value, int)):
+            raise _err(node, ".shape index must be a literal axis")
+        return DimOf(node.value.value.id, axis.value, lineno=node.lineno)
+    base = _lower_expr(node.value)
+    sl = node.slice
+    elts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+    return Index(
+        base, tuple(_lower_expr(e) for e in elts), lineno=node.lineno
+    )
+
+
+def _lower_stmt(node: ast.stmt) -> Stmt:
+    if isinstance(node, ast.Assign):
+        if len(node.targets) != 1:
+            raise _err(node, "multiple assignment targets")
+        target = _lower_expr(node.targets[0])
+        if not isinstance(target, (Name, Index)):
+            raise _err(node, "unsupported assignment target")
+        return Assign(target, _lower_expr(node.value), lineno=node.lineno)
+    if isinstance(node, ast.AugAssign):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise _err(node, "unsupported augmented assignment")
+        target = _lower_expr(node.target)
+        if not isinstance(target, (Name, Index)):
+            raise _err(node, "unsupported assignment target")
+        return AugAssign(target, op, _lower_expr(node.value), lineno=node.lineno)
+    if isinstance(node, ast.For):
+        return _lower_for(node)
+    if isinstance(node, ast.If):
+        return If(
+            _lower_expr(node.test),
+            tuple(_lower_stmt(s) for s in node.body),
+            tuple(_lower_stmt(s) for s in node.orelse),
+            lineno=node.lineno,
+        )
+    if isinstance(node, ast.Break):
+        return Break(lineno=node.lineno)
+    if isinstance(node, ast.Continue):
+        return Continue(lineno=node.lineno)
+    if isinstance(node, ast.Return):
+        value = None if node.value is None else _lower_expr(node.value)
+        return Return(value, lineno=node.lineno)
+    raise _err(node, f"unsupported statement {type(node).__name__}")
+
+
+def _lower_for(node: ast.For) -> For:
+    if node.orelse:
+        raise _err(node, "for-else is outside the subset")
+    if not isinstance(node.target, ast.Name):
+        raise _err(node, "loop target must be a plain name")
+    it = node.iter
+    if not (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Name)
+        and it.func.id == "range"
+        and not it.keywords
+        and 1 <= len(it.args) <= 2
+    ):
+        raise _err(node, "loops must iterate range(n) or range(a, b)")
+    if len(it.args) == 1:
+        init: Expr = IntLit(0, lineno=node.lineno)
+        bound = _lower_expr(it.args[0])
+    else:
+        init = _lower_expr(it.args[0])
+        bound = _lower_expr(it.args[1])
+    return For(
+        var=node.target.id,
+        var_ctype=None,
+        init=init,
+        cond_op="<",
+        bound=bound,
+        step=1,
+        body=tuple(_lower_stmt(s) for s in node.body),
+        lineno=node.lineno,
+    )
+
+
+def parse_numba_funcs(
+    source: str, names: tuple[str, ...]
+) -> list[NativeFunc]:
+    """Extract and lower the named inner functions of ``_jit``.
+
+    ``source`` is the full module text of ``repro.backends.numba_jit``;
+    the inner ``@njit`` function definitions are located by name inside
+    the ``_jit`` factory and lowered statement by statement.  A missing
+    name is an error — the verifier must fail loudly if the twins are
+    renamed without updating the specs.
+    """
+    tree = ast.parse(source)
+    jit_def = next(
+        (
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name == "_jit"
+        ),
+        None,
+    )
+    if jit_def is None:
+        raise NativeSyntaxError("no _jit() factory found in numba module")
+    inner = {
+        n.name: n
+        for n in ast.walk(jit_def)
+        if isinstance(n, ast.FunctionDef) and n.name != "_jit"
+    }
+    funcs: list[NativeFunc] = []
+    for name in names:
+        fdef = inner.get(name)
+        if fdef is None:
+            raise NativeSyntaxError(
+                f"@njit twin {name!r} not found inside _jit() "
+                f"(have: {sorted(inner)})"
+            )
+        params = tuple(
+            (a.arg, VOID) for a in fdef.args.args
+        )  # types bound later from the kernel spec's regions
+        body = tuple(_lower_stmt(s) for s in fdef.body)
+        funcs.append(
+            NativeFunc(
+                name=fdef.name,
+                params=params,
+                ret=VOID,
+                body=body,
+                lang="numba",
+                lineno=fdef.lineno,
+            )
+        )
+    return funcs

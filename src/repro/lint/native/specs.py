@@ -1,0 +1,399 @@
+"""Kernel specifications: the trusted preconditions of the native tier.
+
+Each compiled entry point is verified against a :class:`EntrySpec`
+declaring exactly what its python wrapper establishes before the call:
+
+* **symbols** — the size quantities (``N`` sites, ``T`` types, ``C``
+  max changes, ``R`` replicas, ``B`` block length, ``n_trials``) with
+  their guaranteed lower bounds (``cnative_tables`` can only be built
+  from a compiled model with at least one type, one change slot and
+  one site, hence ``T, C, N >= 1``).
+* **regions** — every array the kernel touches, with its numpy dtype,
+  symbolic extents per dimension, the value range the wrapper
+  validates for its *contents* (``_stream_valid`` proves
+  ``sites in [0, N-1]``, ``types in [0, T-1]``; table packing proves
+  ``maps in [0, N-1]``, ``nch in [0, C]``), and — for nullable /
+  flag-gated buffers — the guard name that must be tested before
+  access.
+* **params** — the positional binding of the entry point's parameters
+  to regions, size symbols, or boolean flags.
+* **order** — the loop-order certificate: the nesting chain of stream
+  loops (init/bound each must render to an admitted form) under which
+  strict ascending execution is one of the orders the reference
+  kernel's commutativity argument admits (see the ``cnative`` module
+  docstring for the argument per kernel).
+* **guards** — the wrapper callables (dotted names) that must
+  syntactically appear in each wrapper's source; they are the
+  *justification* for the region value ranges, so a wrapper that drops
+  its guard invalidates the bounds proof (SR062).
+
+The specs are data, not code: the abstract interpreter
+(:mod:`repro.lint.native.absint`) and the ABI checker
+(:mod:`repro.lint.native.abi`) consume them; the differential fuzzer
+exercises the same wrappers dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sym import Interval, Poly
+
+__all__ = [
+    "C_SPECS",
+    "NUMBA_SPECS",
+    "EntrySpec",
+    "LoopSpec",
+    "Param",
+    "Region",
+    "eval_expr",
+    "symbol_table",
+]
+
+#: size symbol -> guaranteed lower bound
+SYMBOL_LOWER = {
+    "N": 1,  # n_sites: CompiledModel requires a nonempty lattice
+    "T": 1,  # n_types: cnative_tables takes max() over >= 1 type
+    "C": 1,  # c_max:   every type has >= 1 change slot
+    "R": 0,  # n_reps
+    "B": 0,  # n_blk (interleaved per-replica stream length)
+    "n_trials": 0,
+}
+
+
+def symbol_table() -> dict[str, Poly]:
+    """Fresh ``symbol -> Poly`` mapping with lower bounds folded in."""
+    return {s: Poly.sym(s, low) for s, low in SYMBOL_LOWER.items()}
+
+
+def eval_expr(expr: str, syms: dict[str, Poly]) -> Poly:
+    """Evaluate a spec size/range expression (``"3*n_trials-1"``)."""
+    out = eval(expr, {"__builtins__": {}}, dict(syms))  # noqa: S307
+    return Poly.const(out) if isinstance(out, int) else out
+
+
+@dataclass(frozen=True)
+class Region:
+    """One array the native kernel touches."""
+
+    name: str
+    dtype: str  # numpy dtype name: uint8 | int64 | int32 | bool
+    dims: tuple[str, ...]  # symbolic extent expression per dimension
+    #: (lo, hi) expressions for validated *content* values, or None
+    value_range: tuple[str, str] | None = None
+    writable: bool = False
+    #: name that must be truth-tested on the path before access
+    guard: str | None = None
+
+    def extent(self, syms: dict[str, Poly]) -> Poly:
+        out = Poly.const(1)
+        for d in self.dims:
+            out = out * eval_expr(d, syms)
+        return out
+
+    def dim_polys(self, syms: dict[str, Poly]) -> tuple[Poly, ...]:
+        return tuple(eval_expr(d, syms) for d in self.dims)
+
+    def value_interval(self, syms: dict[str, Poly]) -> "Interval | None":
+        if self.value_range is None:
+            return None
+        lo, hi = self.value_range
+        return Interval(eval_expr(lo, syms), eval_expr(hi, syms))
+
+
+@dataclass(frozen=True)
+class Param:
+    """Positional binding of one entry-point parameter."""
+
+    name: str
+    kind: str  # "region" | "scalar" | "flag"
+    region: str | None = None  # kind == "region"
+    symbol: str | None = None  # kind == "scalar": bound exactly to this
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One admitted stream loop in the order certificate."""
+
+    inits: tuple[str, ...]  # admitted renders of the init expression
+    bounds: tuple[str, ...]  # admitted renders of the bound expression
+
+
+@dataclass(frozen=True)
+class EntrySpec:
+    """Everything the verifier knows about one native entry point."""
+
+    name: str
+    lang: str  # "c" | "numba"
+    params: tuple[Param, ...]
+    regions: tuple[Region, ...]
+    #: nesting chain of trial-stream loops (outermost first)
+    order: tuple[LoopSpec, ...]
+    #: guard callables that must appear in each wrapper's source
+    wrapper_guards: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: the @kernel-decorated wrappers (dotted names) calling this entry
+    wrappers: tuple[str, ...] = ()
+
+    def region(self, name: str) -> "Region | None":
+        for r in self.regions:
+            if r.name == name:
+                return r
+        return None
+
+
+def _r(name, dtype, dims, rng=None, writable=False, guard=None) -> Region:
+    return Region(name, dtype, tuple(dims), rng, writable, guard)
+
+
+# -- shared region shapes ----------------------------------------------
+_MAPS = _r("maps", "int64", ("T", "C", "N"), ("0", "N-1"))
+_SRCS = _r("srcs", "uint8", ("T", "C"), ("0", "255"))
+_TGTS = _r("tgts", "uint8", ("T", "C"), ("0", "255"))
+_NCH = _r("nch", "int32", ("T",), ("0", "C"))
+_SITES_1D = _r("sites", "int64", ("n_trials",), ("0", "N-1"))
+_TYPES_1D = _r("types", "int64", ("n_trials",), ("0", "T-1"))
+_REPS_1D = _r("reps", "int64", ("n_trials",), ("0", "R-1"))
+
+_INNER_LOOPS = (LoopSpec(("0",), ("nc",)),)  # change loops: 0 -> nch[t]
+
+_C_GUARDS = {
+    "repro.backends.cnative.c_run_trials_sequential": (
+        "_c_usable", "_stream_valid",
+    ),
+    "repro.backends.cnative.c_run_trials_batch": (
+        "_c_usable", "_stream_valid",
+    ),
+    "repro.backends.cnative.c_run_trials_batch_with_duplicates": (
+        "_c_usable", "_stream_valid",
+    ),
+    "repro.backends.cnative.c_execute_type_everywhere": (
+        "_c_usable", "_stream_valid",
+    ),
+}
+
+C_RUN_TRIALS = EntrySpec(
+    name="repro_run_trials",
+    lang="c",
+    params=(
+        Param("state", "region", region="state"),
+        Param("maps", "region", region="maps"),
+        Param("srcs", "region", region="srcs"),
+        Param("tgts", "region", region="tgts"),
+        Param("nch", "region", region="nch"),
+        Param("c_max", "scalar", symbol="C"),
+        Param("n_sites", "scalar", symbol="N"),
+        Param("sites", "region", region="sites"),
+        Param("types", "region", region="types"),
+        Param("n_trials", "scalar", symbol="n_trials"),
+        Param("counts", "region", region="counts"),
+        Param("rec", "region", region="rec"),
+    ),
+    regions=(
+        _r("state", "uint8", ("N",), writable=True),
+        _MAPS, _SRCS, _TGTS, _NCH, _SITES_1D, _TYPES_1D,
+        _r("counts", "int64", ("T",), writable=True, guard="counts"),
+        _r("rec", "int64", ("3*n_trials",), writable=True, guard="rec"),
+    ),
+    order=(LoopSpec(("0",), ("n_trials",)),) ,
+    wrapper_guards=_C_GUARDS,
+    wrappers=tuple(_C_GUARDS),
+)
+
+C_RUN_TRIALS_STACKED = EntrySpec(
+    name="repro_run_trials_stacked",
+    lang="c",
+    params=(
+        Param("states", "region", region="states"),
+        Param("maps", "region", region="maps"),
+        Param("srcs", "region", region="srcs"),
+        Param("tgts", "region", region="tgts"),
+        Param("nch", "region", region="nch"),
+        Param("c_max", "scalar", symbol="C"),
+        Param("n_sites", "scalar", symbol="N"),
+        Param("reps", "region", region="reps"),
+        Param("sites", "region", region="sites"),
+        Param("types", "region", region="types"),
+        Param("n_trials", "scalar", symbol="n_trials"),
+        Param("counts", "region", region="counts"),
+        Param("n_types", "scalar", symbol="T"),
+    ),
+    regions=(
+        _r("states", "uint8", ("R", "N"), writable=True),
+        _MAPS, _SRCS, _TGTS, _NCH, _REPS_1D, _SITES_1D, _TYPES_1D,
+        _r("counts", "int64", ("R", "T"), writable=True, guard="counts"),
+    ),
+    order=(LoopSpec(("0",), ("n_trials",)),),
+    wrapper_guards={
+        "repro.backends.cnative.c_run_trials_stacked": (
+            "_c_usable", "_stream_valid",
+        ),
+    },
+    wrappers=("repro.backends.cnative.c_run_trials_stacked",),
+)
+
+C_RUN_INTERLEAVED = EntrySpec(
+    name="repro_run_interleaved",
+    lang="c",
+    params=(
+        Param("states", "region", region="states"),
+        Param("maps", "region", region="maps"),
+        Param("srcs", "region", region="srcs"),
+        Param("tgts", "region", region="tgts"),
+        Param("nch", "region", region="nch"),
+        Param("c_max", "scalar", symbol="C"),
+        Param("n_sites", "scalar", symbol="N"),
+        Param("sites", "region", region="sites"),
+        Param("types", "region", region="types"),
+        Param("starts", "region", region="starts"),
+        Param("stops", "region", region="stops"),
+        Param("n_reps", "scalar", symbol="R"),
+        Param("n_blk", "scalar", symbol="B"),
+        Param("counts", "region", region="counts"),
+        Param("n_types", "scalar", symbol="T"),
+    ),
+    regions=(
+        _r("states", "uint8", ("R", "N"), writable=True),
+        _MAPS, _SRCS, _TGTS, _NCH,
+        _r("sites", "int64", ("R", "B"), ("0", "N-1")),
+        _r("types", "int64", ("R", "B"), ("0", "T-1")),
+        _r("starts", "int64", ("R",), ("0", "B")),
+        _r("stops", "int64", ("R",), ("0", "B")),
+        _r("counts", "int64", ("R", "T"), writable=True, guard="counts"),
+    ),
+    order=(
+        LoopSpec(("0",), ("n_reps",)),
+        LoopSpec(("starts[r]",), ("stops[r]",)),
+    ),
+    wrapper_guards={
+        "repro.backends.cnative.c_run_trials_interleaved": (
+            "_c_usable", "_stream_valid",
+        ),
+    },
+    wrappers=("repro.backends.cnative.c_run_trials_interleaved",),
+)
+
+C_SPECS: tuple[EntrySpec, ...] = (
+    C_RUN_TRIALS, C_RUN_TRIALS_STACKED, C_RUN_INTERLEAVED,
+)
+
+
+_NB_GUARDS = {
+    "repro.backends.numba_jit.nb_run_trials_sequential": (
+        "_usable", "_stream_valid",
+    ),
+    "repro.backends.numba_jit.nb_run_trials_batch": (
+        "_usable", "_stream_valid",
+    ),
+    "repro.backends.numba_jit.nb_run_trials_batch_with_duplicates": (
+        "_usable", "_stream_valid",
+    ),
+    "repro.backends.numba_jit.nb_execute_type_everywhere": (
+        "_usable", "_stream_valid",
+    ),
+}
+
+NB_RUN_TRIALS = EntrySpec(
+    name="run_trials",
+    lang="numba",
+    params=(
+        Param("state", "region", region="state"),
+        Param("maps", "region", region="maps"),
+        Param("srcs", "region", region="srcs"),
+        Param("tgts", "region", region="tgts"),
+        Param("nch", "region", region="nch"),
+        Param("sites", "region", region="sites"),
+        Param("types", "region", region="types"),
+        Param("counts", "region", region="counts"),
+        Param("use_counts", "flag"),
+        Param("rec", "region", region="rec"),
+        Param("use_rec", "flag"),
+    ),
+    regions=(
+        _r("state", "uint8", ("N",), writable=True),
+        _MAPS, _SRCS, _TGTS, _NCH, _SITES_1D, _TYPES_1D,
+        _r("counts", "int64", ("T",), writable=True, guard="use_counts"),
+        _r(
+            "rec", "int64", ("3*n_trials",), writable=True,
+            guard="use_rec",
+        ),
+    ),
+    order=(LoopSpec(("0",), ("sites.size",)),),
+    wrapper_guards=_NB_GUARDS,
+    wrappers=tuple(_NB_GUARDS),
+)
+
+NB_RUN_TRIALS_STACKED = EntrySpec(
+    name="run_trials_stacked",
+    lang="numba",
+    params=(
+        Param("states", "region", region="states"),
+        Param("maps", "region", region="maps"),
+        Param("srcs", "region", region="srcs"),
+        Param("tgts", "region", region="tgts"),
+        Param("nch", "region", region="nch"),
+        Param("reps", "region", region="reps"),
+        Param("sites", "region", region="sites"),
+        Param("types", "region", region="types"),
+        Param("counts", "region", region="counts"),
+        Param("use_counts", "flag"),
+    ),
+    regions=(
+        _r("states", "uint8", ("R", "N"), writable=True),
+        _MAPS, _SRCS, _TGTS, _NCH, _REPS_1D, _SITES_1D, _TYPES_1D,
+        _r(
+            "counts", "int64", ("R", "T"), writable=True,
+            guard="use_counts",
+        ),
+    ),
+    order=(LoopSpec(("0",), ("sites.size",)),),
+    wrapper_guards={
+        "repro.backends.numba_jit.nb_run_trials_stacked": (
+            "_usable", "_stream_valid",
+        ),
+    },
+    wrappers=("repro.backends.numba_jit.nb_run_trials_stacked",),
+)
+
+NB_RUN_INTERLEAVED = EntrySpec(
+    name="run_interleaved",
+    lang="numba",
+    params=(
+        Param("states", "region", region="states"),
+        Param("maps", "region", region="maps"),
+        Param("srcs", "region", region="srcs"),
+        Param("tgts", "region", region="tgts"),
+        Param("nch", "region", region="nch"),
+        Param("sites", "region", region="sites"),
+        Param("types", "region", region="types"),
+        Param("starts", "region", region="starts"),
+        Param("stops", "region", region="stops"),
+        Param("counts", "region", region="counts"),
+        Param("use_counts", "flag"),
+    ),
+    regions=(
+        _r("states", "uint8", ("R", "N"), writable=True),
+        _MAPS, _SRCS, _TGTS, _NCH,
+        _r("sites", "int64", ("R", "B"), ("0", "N-1")),
+        _r("types", "int64", ("R", "B"), ("0", "T-1")),
+        _r("starts", "int64", ("R",), ("0", "B")),
+        _r("stops", "int64", ("R",), ("0", "B")),
+        _r(
+            "counts", "int64", ("R", "T"), writable=True,
+            guard="use_counts",
+        ),
+    ),
+    order=(
+        LoopSpec(("0",), ("states.shape[0]",)),
+        LoopSpec(("starts[r]",), ("stops[r]",)),
+    ),
+    wrapper_guards={
+        "repro.backends.numba_jit.nb_run_trials_interleaved": (
+            "_usable", "_stream_valid",
+        ),
+    },
+    wrappers=("repro.backends.numba_jit.nb_run_trials_interleaved",),
+)
+
+NUMBA_SPECS: tuple[EntrySpec, ...] = (
+    NB_RUN_TRIALS, NB_RUN_TRIALS_STACKED, NB_RUN_INTERLEAVED,
+)

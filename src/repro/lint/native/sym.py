@@ -1,0 +1,235 @@
+"""Symbolic polynomial arithmetic for the native bounds prover.
+
+The native abstract interpreter (:mod:`repro.lint.native.absint`)
+represents scalar quantities as intervals whose endpoints are
+polynomials over the kernel's *size symbols* (``n_sites``, ``c_max``,
+``n_types``, ...).  Bounds proofs then reduce to one decidable
+question: is a polynomial provably nonnegative when every symbol is
+nonnegative?
+
+The trick that makes plain coefficient inspection complete enough for
+the kernels at hand is the **lower-bound substitution**: a symbol
+declared ``>= b`` enters every polynomial as ``(s' + b)`` with
+``s' >= 0``.  After expansion, "all monomial coefficients >= 0" proves
+statements like ``T*C*N - C*N + 1 >= 0`` (needs ``T >= 1``) without a
+solver: with ``T = T' + 1`` it expands to ``T'*C*N + 1``.
+
+This mirrors the residue-algebra style of
+:mod:`repro.lint.offsets` — a tiny, purpose-built decision procedure
+instead of a general SMT dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = ["Poly", "Interval", "TOP", "product"]
+
+
+def _merge(terms: Mapping[tuple[str, ...], int]) -> dict[tuple[str, ...], int]:
+    return {m: c for m, c in terms.items() if c != 0}
+
+
+@dataclass(frozen=True)
+class Poly:
+    """A multivariate polynomial with integer coefficients.
+
+    ``terms`` maps a *monomial* — a sorted tuple of symbol names,
+    repeats encoding powers, ``()`` the constant term — to its
+    coefficient.  All symbols are implicitly ``>= 0`` (larger lower
+    bounds are folded in at construction, see :meth:`sym`).
+    """
+
+    terms: tuple[tuple[tuple[str, ...], int], ...] = ()
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def const(value: int) -> "Poly":
+        return Poly._of({(): int(value)})
+
+    @staticmethod
+    def sym(name: str, lower: int = 0) -> "Poly":
+        """The symbol ``name`` with a declared lower bound.
+
+        ``lower > 0`` substitutes ``name = name' + lower`` so that the
+        nonnegativity test sees the slack variable ``name' >= 0``.
+        """
+        base = Poly._of({(name,): 1})
+        if lower:
+            base = base + Poly.const(lower)
+        return base
+
+    @staticmethod
+    def _of(terms: Mapping[tuple[str, ...], int]) -> "Poly":
+        merged = _merge(terms)
+        return Poly(tuple(sorted(merged.items())))
+
+    # -- arithmetic (ints coerce, so spec expressions read naturally) --
+    def _dict(self) -> dict[tuple[str, ...], int]:
+        return dict(self.terms)
+
+    @staticmethod
+    def _coerce(other: "Poly | int") -> "Poly":
+        return Poly.const(other) if isinstance(other, int) else other
+
+    def __add__(self, other: "Poly | int") -> "Poly":
+        other = Poly._coerce(other)
+        out = self._dict()
+        for m, c in other.terms:
+            out[m] = out.get(m, 0) + c
+        return Poly._of(out)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Poly | int") -> "Poly":
+        return self + (-Poly._coerce(other))
+
+    def __rsub__(self, other: "Poly | int") -> "Poly":
+        return Poly._coerce(other) + (-self)
+
+    def __neg__(self) -> "Poly":
+        return Poly._of({m: -c for m, c in self.terms})
+
+    def __mul__(self, other: "Poly | int") -> "Poly":
+        other = Poly._coerce(other)
+        out: dict[tuple[str, ...], int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                m = tuple(sorted(m1 + m2))
+                out[m] = out.get(m, 0) + c1 * c2
+        return Poly._of(out)
+
+    __rmul__ = __mul__
+
+    # -- decision procedure --------------------------------------------
+    def is_nonneg(self) -> bool:
+        """Provably ``>= 0`` for all nonnegative symbol values?
+
+        Sound but incomplete: every monomial coefficient must be
+        nonnegative.  Completeness is recovered in practice by the
+        lower-bound substitution performed in :meth:`sym`.
+        """
+        return all(c >= 0 for _, c in self.terms)
+
+    def is_const(self) -> bool:
+        return all(m == () for m, _ in self.terms)
+
+    def const_value(self) -> int | None:
+        """The integer value if constant, else None."""
+        if not self.is_const():
+            return None
+        return self.terms[0][1] if self.terms else 0
+
+    def __le__(self, other: "Poly | int") -> bool:  # provable <=
+        return (Poly._coerce(other) - self).is_nonneg()
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for m, c in self.terms:
+            mono = "*".join(m) if m else ""
+            if mono:
+                parts.append(f"{c}*{mono}" if c != 1 else mono)
+            else:
+                parts.append(str(c))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded) interval with polynomial endpoints.
+
+    ``None`` endpoints mean unknown (±inf).  Multiplication is only
+    precise when both operands are provably nonnegative or one side is
+    a constant; anything else degrades to :data:`TOP`, which makes all
+    downstream bounds proofs fail — conservative, never unsound.
+    """
+
+    lo: Poly | None = None
+    hi: Poly | None = None
+
+    @staticmethod
+    def exact(p: Poly) -> "Interval":
+        return Interval(p, p)
+
+    @staticmethod
+    def const(v: int) -> "Interval":
+        return Interval.exact(Poly.const(v))
+
+    @property
+    def known(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def nonneg(self) -> bool:
+        return self.lo is not None and self.lo.is_nonneg()
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = self.lo + other.lo if (self.lo is not None and other.lo is not None) else None
+        hi = self.hi + other.hi if (self.hi is not None and other.hi is not None) else None
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = self.lo - other.hi if (self.lo is not None and other.hi is not None) else None
+        hi = self.hi - other.lo if (self.hi is not None and other.lo is not None) else None
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        return Interval(
+            -self.hi if self.hi is not None else None,
+            -self.lo if self.lo is not None else None,
+        )
+
+    def mul(self, other: "Interval") -> "Interval":
+        # constant scaling keeps exactness in either sign
+        for a, b in ((self, other), (other, self)):
+            c = a.lo.const_value() if (a.lo is not None and a.lo == a.hi) else None
+            if c is not None:
+                if not b.known:
+                    return TOP if c != 0 else Interval.const(0)
+                scaled = (b.lo * Poly.const(c), b.hi * Poly.const(c))
+                return Interval(*(scaled if c >= 0 else scaled[::-1]))
+        if self.known and other.known and self.nonneg() and other.nonneg():
+            return Interval(self.lo * other.lo, self.hi * other.hi)  # type: ignore[operator]
+        return TOP
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound of two branch values (conservative).
+
+        Endpoints stay known only when the two candidates are provably
+        ordered; incomparable symbolic endpoints degrade to unknown.
+        """
+        if self.lo is None or other.lo is None:
+            lo = None
+        elif self.lo <= other.lo:
+            lo = self.lo
+        elif other.lo <= self.lo:
+            lo = other.lo
+        else:
+            lo = None
+        if self.hi is None or other.hi is None:
+            hi = None
+        elif other.hi <= self.hi:
+            hi = self.hi
+        elif self.hi <= other.hi:
+            hi = other.hi
+        else:
+            hi = None
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        lo = str(self.lo) if self.lo is not None else "-inf"
+        hi = str(self.hi) if self.hi is not None else "+inf"
+        return f"[{lo}, {hi}]"
+
+
+#: the unknown interval — any bounds proof through it fails
+TOP = Interval()
+
+
+def product(polys: Iterable[Poly]) -> Poly:
+    out = Poly.const(1)
+    for p in polys:
+        out = out * p
+    return out

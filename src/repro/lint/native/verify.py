@@ -1,0 +1,175 @@
+"""The native-tier lint pass: orchestrate parsing, ABI and proofs.
+
+:func:`lint_native` is the ``repro lint --native`` entry point: it
+parses the cnative translation unit and the ``@njit`` twins from
+*source* (no compiler, no numba import needed), runs the ABI checks
+(SR060/SR061), the bounds/overflow abstract interpretation
+(SR062/SR063) and the order certificates (SR064) over both tiers, and
+returns one :class:`~repro.lint.diagnostics.LintReport`.
+
+:func:`verify_c_translation_unit` is the registration self-check the
+cnative backend runs before exposing itself through the registry; it
+takes the source and ctypes table as arguments so the backend does not
+import this package's callers back (no import cycle).
+
+:func:`lint_verdict` condenses a run into the provenance block bench
+records attach to their JSON output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..diagnostics import Diagnostic, LintReport
+from .abi import (
+    check_c_abi,
+    check_numba_abi,
+    check_table_dtypes,
+    check_wrapper_guards,
+)
+from .absint import analyze_entry, check_order
+from .cfront import parse_c_unit
+from .nir import NativeFunc, NativeSyntaxError
+from .pyfront import jit_source, parse_numba_funcs
+from .specs import C_SPECS, NUMBA_SPECS, EntrySpec
+
+__all__ = [
+    "lint_native",
+    "lint_verdict",
+    "verify_c_translation_unit",
+    "verify_numba_functions",
+]
+
+#: every code this pass can emit (recorded in bench provenance)
+NATIVE_CODES = ("SR060", "SR061", "SR062", "SR063", "SR064")
+
+
+def _parse_failure(lang: str, exc: Exception) -> Diagnostic:
+    return Diagnostic(
+        "SR062",
+        f"native:{lang}",
+        f"front-end cannot model the {lang} tier, nothing is proven: "
+        f"{exc}",
+        {"parse_error": str(exc)},
+    )
+
+
+def _analyze(
+    funcs: dict[str, NativeFunc],
+    specs: tuple[EntrySpec, ...],
+    report: LintReport,
+) -> None:
+    for spec in specs:
+        func = funcs.get(spec.name)
+        if func is None:
+            continue  # the ABI pass already reported SR060
+        for d in analyze_entry(func, spec):
+            report.add(d)
+        for d in check_order(func, spec):
+            report.add(d)
+
+
+def verify_c_translation_unit(
+    source: str,
+    signatures: dict[str, tuple[tuple[str, ...], str]],
+    specs: tuple[EntrySpec, ...] = C_SPECS,
+) -> LintReport:
+    """Parse + ABI + proofs for one C translation unit."""
+    report = LintReport()
+    try:
+        funcs = {f.name: f for f in parse_c_unit(source)}
+    except NativeSyntaxError as exc:
+        report.add(_parse_failure("c", exc))
+        return report
+    for d in check_c_abi(funcs, signatures, specs):
+        report.add(d)
+    _analyze(funcs, specs, report)
+    if report.ok():
+        report.note(
+            f"native-c: {len(specs)} entry points proven in-bounds, "
+            f"overflow-free and order-admissible"
+        )
+    return report
+
+
+def verify_numba_functions(
+    source: str, specs: tuple[EntrySpec, ...] = NUMBA_SPECS
+) -> LintReport:
+    """Parse + ABI + proofs for the ``@njit`` twins (source-level)."""
+    report = LintReport()
+    try:
+        funcs = {
+            f.name: f
+            for f in parse_numba_funcs(
+                source, tuple(s.name for s in specs)
+            )
+        }
+    except NativeSyntaxError as exc:
+        report.add(_parse_failure("numba", exc))
+        return report
+    for d in check_numba_abi(funcs, specs):
+        report.add(d)
+    _analyze(funcs, specs, report)
+    if report.ok():
+        report.note(
+            f"native-numba: {len(specs)} @njit twins proven in-bounds, "
+            f"overflow-free and order-admissible"
+        )
+    return report
+
+
+def lint_native() -> LintReport:
+    """The full native pass over the shipped backends (both tiers)."""
+    from ...backends import cnative as _cn
+
+    report = LintReport()
+    report.extend(
+        verify_c_translation_unit(_cn._C_SOURCE, _cn.CTYPES_SIGNATURES)
+    )
+    for d in check_table_dtypes(_module_source(_cn), C_SPECS):
+        report.add(d)
+    try:
+        nb_src = jit_source()
+    except OSError as exc:  # source unavailable (frozen install)
+        report.add(_parse_failure("numba", exc))
+    else:
+        report.extend(verify_numba_functions(nb_src))
+    for d in check_wrapper_guards(C_SPECS + NUMBA_SPECS):
+        report.add(d)
+    return report
+
+
+def _module_source(module) -> str:
+    import inspect
+    return inspect.getsource(module)
+
+
+def lint_verdict() -> dict:
+    """Condensed verdict for bench provenance blocks.
+
+    ``codes`` lists what was checked (not what fired), ``ok`` is the
+    pass/fail verdict, ``errors`` the codes that actually fired, and
+    ``digest`` a short stable hash of the full diagnostic payload so
+    two BENCH files can be compared for "same verified kernel set".
+    """
+    try:
+        report = lint_native()
+        errors = sorted({d.code for d in report.diagnostics})
+        ok = report.ok()
+    except Exception as exc:  # the verdict must never sink a bench run
+        return {
+            "codes": list(NATIVE_CODES),
+            "ok": False,
+            "errors": ["verifier-crash"],
+            "digest": hashlib.sha256(str(exc).encode()).hexdigest()[:12],
+        }
+    payload = json.dumps(
+        [d.to_dict() for d in report.diagnostics], sort_keys=True
+    )
+    return {
+        "codes": list(NATIVE_CODES),
+        "ok": ok,
+        "errors": errors,
+        "digest": hashlib.sha256(payload.encode()).hexdigest()[:12],
+    }

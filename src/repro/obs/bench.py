@@ -37,6 +37,26 @@ __all__ = ["ENGINES", "run_engine_bench", "run_bench", "add_bench_arguments", "r
 #: default output directory for BENCH_*.json files (repo-relative)
 DEFAULT_OUT = Path("benchmarks/reports")
 
+#: memoised native-lint verdict — identical for every record of a run
+_lint_verdict_cache: dict | None = None
+
+
+def _native_lint_verdict() -> dict:
+    """The condensed SR060-range verdict stamped into each record.
+
+    A bench point is only comparable to another if both ran verified
+    kernels, so every record carries the native-tier lint verdict
+    (pass/fail, fired codes, and a digest of the full diagnostic
+    payload).  Computed once per process: the verdict depends only on
+    the shipped sources, not on the engine being benchmarked.
+    """
+    global _lint_verdict_cache
+    if _lint_verdict_cache is None:
+        from ..lint.native import lint_verdict
+
+        _lint_verdict_cache = lint_verdict()
+    return _lint_verdict_cache
+
 
 # ----------------------------------------------------------------------
 # engine reference runs
@@ -175,7 +195,12 @@ def run_engine_bench(
         "trials": float(trials),
         "trials_per_s": trials / result.wall_time if result.wall_time > 0 else 0.0,
     }
-    extra: dict = {"side": side, "until": until, "backend": be.name}
+    extra: dict = {
+        "side": side,
+        "until": until,
+        "backend": be.name,
+        "lint": dict(_native_lint_verdict()),
+    }
     if hasattr(result, "n_replicas"):
         extra["n_replicas"] = int(result.n_replicas)
     name = engine if be.name == "numpy" else f"{engine}-{be.name}"

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -32,3 +34,87 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _warning_report():
+    from repro.lint.diagnostics import Diagnostic, LintReport
+
+    report = LintReport()
+    report.add(Diagnostic("SR043", "kernel:fake", "seeded warning"))
+    return report
+
+
+class TestLintCli:
+    """Exit codes and ``--json`` schema across the lint passes."""
+
+    def test_model_pass_exit_zero(self, capsys):
+        assert main(["lint", "--model", "ziff"]) == 0
+        out = capsys.readouterr().out
+        assert "conflict-free" in out and "0 error(s)" in out
+
+    def test_bad_tiling_exit_one(self, capsys):
+        assert main(["lint", "--model", "ziff", "--tiling", "1:1,1"]) == 1
+        assert "SR001" in capsys.readouterr().out
+
+    def test_bad_tiling_json_schema(self, capsys):
+        rc = main(
+            ["lint", "--model", "ziff", "--tiling", "1:1,1", "--json"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert {d["code"] for d in doc["diagnostics"]} == {"SR001"}
+        for diag in doc["diagnostics"]:
+            assert set(diag) >= {
+                "code", "severity", "slug", "subject", "message", "data",
+            }
+
+    def test_kernels_pass_json(self, capsys):
+        assert main(["lint", "--kernels", "--json", "--strict"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["diagnostics"] == []
+
+    def test_native_pass_json(self, capsys):
+        assert main(["lint", "--native", "--json", "--strict"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        notes = " ".join(doc["notes"])
+        assert "native-c" in notes and "native-numba" in notes
+
+    def test_kernels_and_native_combine(self, capsys):
+        assert main(["lint", "--kernels", "--native", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any("native-c" in n for n in doc["notes"])
+        assert any("kernel" in n for n in doc["notes"])
+
+    def test_strict_mode_fails_on_warnings(self, capsys, monkeypatch):
+        from repro.lint import kernel_lint
+
+        monkeypatch.setattr(kernel_lint, "lint_kernels", _warning_report)
+        assert main(["lint", "--kernels"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--kernels", "--strict"]) == 1
+        assert "SR043" in capsys.readouterr().out
+
+    def test_native_errors_fail_without_strict(self, capsys, monkeypatch):
+        import repro.lint.native as native
+
+        def broken():
+            from repro.lint.diagnostics import Diagnostic, LintReport
+
+            report = LintReport()
+            report.add(
+                Diagnostic("SR062", "native:c:fake", "seeded error")
+            )
+            return report
+
+        monkeypatch.setattr(native, "lint_native", broken)
+        assert main(["lint", "--native"]) == 1
+        assert "SR062" in capsys.readouterr().out
+
+    def test_list_codes_spans_registry(self, capsys):
+        from repro.lint.diagnostics import CODES
+
+        assert main(["lint", "--list-codes"]) == 0
+        out = capsys.readouterr().out
+        assert all(code in out for code in CODES)
