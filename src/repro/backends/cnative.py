@@ -820,6 +820,14 @@ def cnative_self_check() -> "list[str]":
 
 
 if os.environ.get(LINT_SKIP_ENV):
+    import warnings
+
+    warnings.warn(
+        f"{LINT_SKIP_ENV} is set: registering the cnative backend "
+        f"WITHOUT its native lint self-check — kernels run unverified",
+        RuntimeWarning,
+        stacklevel=2,
+    )
     register_backend(CNativeBackend())
 else:
     _lint_errors = cnative_self_check()

@@ -43,6 +43,16 @@ Analysis passes, each emitting :class:`Diagnostic` records with stable
   intervals (SR062/SR063), and certifies trial loop order against the
   reference kernel's commutativity argument (SR064).
   ``python -m repro lint --native``.
+* :mod:`repro.lint.protocol` — the **protocol verifier**: an
+  interprocedural AST/dataflow pass over the parallel-execution and
+  resilience layers proving the SharedMemory create/attach/close/unlink
+  lifecycle correctly paired on all control paths (SR070/SR071),
+  signal-handler and ambient-stack push/pop discipline (SR072),
+  checkpoint payload round-trip field and codec agreement
+  (SR073/SR074), recovery-ladder draw invariance and snapshot
+  sufficiency (SR075/SR076), and spawn-safe worker capture (SR077);
+  shapes the analysis cannot model fail closed as SR078.
+  ``python -m repro lint --protocol``.
 
 The complete code registry, generated from
 :data:`repro.lint.diagnostics.CODES` (full descriptions live there;
@@ -51,10 +61,10 @@ The complete code registry, generated from
 {code_table}
 
 Entry points: ``python -m repro lint`` (CI gate, see
-:mod:`repro.lint.cli`; ``--kernels`` / ``--native`` for single
-passes) and the :func:`preflight_model` / :func:`preflight_partition`
-gates wired into the experiment drivers and the PNDCA construction
-paths.
+:mod:`repro.lint.cli`; ``--kernels`` / ``--native`` / ``--protocol``
+for single passes) and the :func:`preflight_model` /
+:func:`preflight_partition` gates wired into the experiment drivers
+and the PNDCA construction paths.
 """
 
 from __future__ import annotations
@@ -80,6 +90,7 @@ from .partition_lint import (
     prove_tiling,
     tiling_conflicts_on_shape,
 )
+from .protocol import PROTOCOL_CODES, lint_protocol, protocol_verdict
 from .rng_lint import audit_draws
 
 
@@ -112,6 +123,7 @@ __all__ = [
     "KernelIR",
     "KERNEL_MODULES",
     "NATIVE_CODES",
+    "PROTOCOL_CODES",
     "analyze_kernel",
     "audit_draws",
     "build_ir",
@@ -125,7 +137,9 @@ __all__ = [
     "lint_model",
     "lint_native",
     "lint_partition",
+    "lint_protocol",
     "lint_verdict",
+    "protocol_verdict",
     "preflight_model",
     "preflight_partition",
     "prove_tiling",

@@ -14,6 +14,7 @@ Targeted runs::
     python -m repro lint --model ziff --tiling 5:1,2 --shape 7x7
     python -m repro lint --kernels --strict            # kernel pass only
     python -m repro lint --native --strict             # native tier only
+    python -m repro lint --protocol --strict           # protocol layer only
     python -m repro lint --json                        # machine-readable
     python -m repro lint --list-codes                  # error-code table
 
@@ -30,6 +31,13 @@ signatures, the ctypes table, the packed numpy dtypes and the
 the loop-order certificates over both the cnative translation unit
 and the ``@njit`` twins.  Everything is source-level: no C compiler
 or numba installation is needed.
+
+``--protocol`` runs the process-level protocol verifier alone
+(:mod:`repro.lint.protocol`, SR070-SR078): the SharedMemory lifecycle
+typestate, signal/ambient-stack pairing, checkpoint round-trip field
+analysis, recovery-ladder draw/snapshot invariance and spawn-safety
+passes over the executor and resilience layers.  Everything is
+source-level: no pools are spawned and no signals installed.
 
 ``--shape`` switches the proof from "all aligned lattice sizes" to the
 exact borrow analysis for one finite periodic shape — use it to check
@@ -173,6 +181,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="run only the native-tier verifier over the C/numba twins "
         "(SR060-SR064)",
     )
+    parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help="run only the protocol verifier over the executor/resilience "
+        "layer (SR070-SR078)",
+    )
     all_codes = code_table()
     parser.add_argument(
         "--codes",
@@ -200,7 +214,7 @@ def run(args: argparse.Namespace) -> int:
             print(f"{code}  {sev:<7s} {slug:<30s} {desc}")
         return 0
 
-    if args.kernels or args.native:
+    if args.kernels or args.native or args.protocol:
         report = LintReport()
         if args.kernels:
             from .kernel_lint import lint_kernels
@@ -210,6 +224,10 @@ def run(args: argparse.Namespace) -> int:
             from .native import lint_native
 
             report.extend(lint_native())
+        if args.protocol:
+            from .protocol import lint_protocol
+
+            report.extend(lint_protocol())
         if args.json:
             print(report.to_json())
         else:
@@ -231,6 +249,7 @@ def run(args: argparse.Namespace) -> int:
                 initial_species=initial,
                 rng_audit=(i == 0 and not args.no_rng_audit),
                 native_audit=(i == 0),
+                protocol_audit=(i == 0),
             )
         )
 

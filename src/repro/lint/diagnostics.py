@@ -23,7 +23,14 @@ Code ranges
     native-tier verification (:mod:`repro.lint.native`): C/ctypes ABI
     agreement (SR060/SR061), symbolic bounds and overflow proofs over
     the compiled loops (SR062/SR063), and twin loop-order admissibility
-    (SR064).
+    (SR064),
+``SR07x``
+    process-level protocol verification (:mod:`repro.lint.protocol`):
+    shared-memory lifecycle typestate (SR070/SR071), signal/ambient
+    stack pairing (SR072), checkpoint round-trip field and codec
+    agreement (SR073/SR074), recovery-ladder draw and snapshot
+    invariance (SR075/SR076), spawn-safety of worker initializers
+    (SR077), and the fail-closed unmodeled-construct code (SR078).
 """
 
 from __future__ import annotations
@@ -181,6 +188,65 @@ CODES: dict[str, tuple[str, str, str]] = {
         "native twin executes trials in an order its reference "
         "kernel's commutativity argument does not admit",
     ),
+    "SR070": (
+        "error",
+        "shm-lifecycle-leak",
+        "shared-memory segment has a control path (exception paths and "
+        "interpreter shutdown included) on which it is never both "
+        "closed and unlinked",
+    ),
+    "SR071": (
+        "error",
+        "shm-use-after-close",
+        "shared-memory state or a view into it is accessed on a path "
+        "after the segment has been released",
+    ),
+    "SR072": (
+        "error",
+        "unbalanced-protocol-pair",
+        "signal-handler install or ambient-stack push is not paired "
+        "with its restore/pop on every control path (the pop must sit "
+        "in a finally covering the pushed region)",
+    ),
+    "SR073": (
+        "error",
+        "checkpoint-field-drift",
+        "checkpoint payload key is written but never restored, or "
+        "restored but never written, by the matching "
+        "checkpoint_payload/restore_payload pair",
+    ),
+    "SR074": (
+        "error",
+        "checkpoint-codec-mismatch",
+        "checkpoint field crosses the encode_array/decode_array (or "
+        "rng_state/restore_rng_state) codec asymmetrically — the "
+        "dtype/encoding round trip is broken",
+    ),
+    "SR075": (
+        "error",
+        "recovery-draw-divergence",
+        "recovery-ladder rung or worker dispatch path performs an RNG "
+        "draw, changing draw counts relative to an undisturbed run",
+    ),
+    "SR076": (
+        "error",
+        "recovery-uncaptured-state",
+        "recovery rung mutates or re-dispatches state the pre-chunk "
+        "snapshot does not capture or restore",
+    ),
+    "SR077": (
+        "error",
+        "spawn-unsafe-capture",
+        "worker initializer captures a non-picklable object or reads a "
+        "master-side mutable global that spawn-context workers never "
+        "receive",
+    ),
+    "SR078": (
+        "error",
+        "protocol-unmodeled",
+        "protocol verifier cannot model a construct in a "
+        "protocol-critical function; nothing is proven (fail closed)",
+    ),
 }
 
 _SEVERITY_ORDER = {"error": 0, "warning": 1, "info": 2}
@@ -298,11 +364,29 @@ class LintReport:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        """The whole report as a JSON document."""
+        """The whole report as a JSON document.
+
+        Diagnostics are emitted in deterministic ``(code, file, line)``
+        order — pass scheduling must not leak into the document, so two
+        runs over the same tree diff byte-identically in CI artifacts.
+        """
+
+        def sort_key(d: Diagnostic) -> tuple[str, str, int, str, str]:
+            data = d.data if isinstance(d.data, dict) else {}
+            line = data.get("line", 0)
+            return (
+                d.code,
+                str(data.get("file", "")),
+                line if isinstance(line, int) else 0,
+                d.subject,
+                d.message,
+            )
+
+        ordered = sorted(self.diagnostics, key=sort_key)
         return json.dumps(
             {
                 "notes": self.notes,
-                "diagnostics": [d.to_dict() for d in self.diagnostics],
+                "diagnostics": [d.to_dict() for d in ordered],
                 "ok": self.ok(),
             },
             indent=2,

@@ -87,6 +87,7 @@ def run_lint(
     rng_audit: bool = False,
     kernel_audit: bool = False,
     native_audit: bool = False,
+    protocol_audit: bool = False,
     limit: int = 8,
 ) -> LintReport:
     """Full static report for one model and its parallel decomposition.
@@ -95,8 +96,9 @@ def run_lint(
     the symbolic tiling proof (``tiling=(m, coeffs)``, optionally
     specialised to a ``shape``), the partition lint, the RNG draw
     audit, the kernel aliasing/effect-contract pass (``kernel_audit``),
-    and the native-tier C/numba verifier (``native_audit``) — the last
-    three are model-independent, so CLI callers run them once, not per
+    the native-tier C/numba verifier (``native_audit``), and the
+    process-level protocol verifier (``protocol_audit``) — the last
+    four are model-independent, so CLI callers run them once, not per
     model.  Never raises on findings; inspect ``report.ok()``.
     """
     from .partition_lint import check_tiling_on_shape
@@ -139,4 +141,8 @@ def run_lint(
         from .native import lint_native
 
         report.extend(lint_native())
+    if protocol_audit:
+        from .protocol import lint_protocol
+
+        report.extend(lint_protocol())
     return report

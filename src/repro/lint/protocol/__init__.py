@@ -1,0 +1,52 @@
+"""Static verifier for the parallel-execution & resilience protocol layer.
+
+The SR070-range passes prove, at the source level, the process-level
+protocol invariants the PR-5/PR-6 subsystems rely on but no unit test
+can exhaustively cover:
+
+============  =====================================================
+``SR070/071``  SharedMemory create/attach/close/unlink typestate
+               (:mod:`~repro.lint.protocol.typestate`)
+``SR072``      signal-handler and ambient-stack push/pop pairing
+               (:mod:`~repro.lint.protocol.pairing`)
+``SR073/074``  checkpoint payload round-trip field/codec agreement
+               (:mod:`~repro.lint.protocol.roundtrip`)
+``SR075/076``  recovery-ladder draw invariance and snapshot
+               sufficiency (:mod:`~repro.lint.protocol.ladder`)
+``SR077``      spawn-safe worker capture
+               (:mod:`~repro.lint.protocol.spawn`)
+``SR078``      analysis gap: the pass cannot model a shape and
+               refuses to vouch for it
+============  =====================================================
+
+Entry points: :func:`lint_protocol` (the ``repro lint --protocol``
+pass) and :func:`protocol_verdict` (the bench-provenance condensate).
+"""
+
+from .ladder import ALLOWED_RUNG_MUTATIONS, RUNG_METHODS, WORKER_FUNCS, audit_ladder
+from .pairing import DEFAULT_PAIRS, PairSpec, audit_pairs
+from .roundtrip import METADATA_KEYS, RoundTripSpec, audit_roundtrip
+from .spawn import POOL_DISPATCH, UNPICKLABLE_ATTRS, audit_spawn
+from .typestate import audit_shm_lifecycle
+from .verify import PROTOCOL_CODES, ROUNDTRIP_CLASSES, lint_protocol, protocol_verdict
+
+__all__ = [
+    "ALLOWED_RUNG_MUTATIONS",
+    "DEFAULT_PAIRS",
+    "METADATA_KEYS",
+    "PairSpec",
+    "POOL_DISPATCH",
+    "PROTOCOL_CODES",
+    "ROUNDTRIP_CLASSES",
+    "RoundTripSpec",
+    "RUNG_METHODS",
+    "UNPICKLABLE_ATTRS",
+    "WORKER_FUNCS",
+    "audit_ladder",
+    "audit_pairs",
+    "audit_roundtrip",
+    "audit_shm_lifecycle",
+    "audit_spawn",
+    "lint_protocol",
+    "protocol_verdict",
+]

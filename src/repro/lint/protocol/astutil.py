@@ -1,0 +1,221 @@
+"""Shared AST plumbing for the protocol verifier.
+
+All protocol passes analyse *source text* (so tests can feed seeded
+mutants) and report locations as ``{"file": ..., "line": ...}`` data
+payloads.  Line numbers are absolute file lines: callers analysing a
+class snippet extracted with :func:`inspect.getsourcelines` pass the
+snippet's ``line_offset`` and every diagnostic is shifted accordingly.
+
+The central approximation used by the typestate and pairing passes is
+the *may-raise* classification of statements: a statement that
+provably cannot raise (constant/name/attribute stores, ``pass``,
+``global``) may sit unprotected between a resource acquisition and its
+protecting ``try``; anything containing a call, a subscript or
+arithmetic is conservatively assumed to be able to raise and must be
+covered by a handler that releases the resource.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+
+__all__ = [
+    "attr_chain",
+    "call_name",
+    "class_def",
+    "find_shm_attrs",
+    "func_defs",
+    "loc",
+    "make_diag",
+    "may_raise",
+    "methods",
+    "parse_source",
+    "walk_calls",
+]
+
+#: builtins whose calls are treated as non-raising for protocol purposes
+#: (``getattr`` with a default, type introspection, pure constructors)
+SAFE_CALLS = frozenset(
+    {"getattr", "isinstance", "len", "type", "id", "repr", "frozenset"}
+)
+
+
+def parse_source(source: str, filename: str) -> ast.Module:
+    """Parse (possibly indented) source text into a module AST."""
+    return ast.parse(textwrap.dedent(source), filename=filename)
+
+
+def loc(filename: str, node: ast.AST, line_offset: int = 0) -> dict:
+    """The standard location payload attached to every diagnostic."""
+    return {"file": filename, "line": getattr(node, "lineno", 0) + line_offset}
+
+
+def make_diag(
+    code: str,
+    subject: str,
+    message: str,
+    filename: str,
+    node: ast.AST,
+    line_offset: int = 0,
+    **data: object,
+) -> Diagnostic:
+    """A diagnostic whose ``data`` leads with the file/line location."""
+    payload = loc(filename, node, line_offset)
+    payload.update(data)
+    return Diagnostic(code, subject, message, payload)
+
+
+def class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    """The top-level class definition called ``name``, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    """Name -> def for the (sync) methods of a class body."""
+    return {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, ast.FunctionDef)
+    }
+
+
+def func_defs(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Name -> def for the module-level (sync) functions."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def attr_chain(node: ast.expr) -> str | None:
+    """Render ``self.backend.name``-style chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call target (``shared_memory.SharedMemory``)."""
+    return attr_chain(call.func)
+
+
+def walk_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call expression inside ``node``, in document order."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def _expr_may_raise(node: ast.expr) -> bool:
+    """Can evaluating this expression raise (conservatively)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            fn = sub.func
+            if isinstance(fn, ast.Name) and fn.id in SAFE_CALLS:
+                continue
+            return True
+        if isinstance(sub, (ast.Subscript, ast.BinOp, ast.Await)):
+            return True
+    return False
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Can executing this *statement* raise (conservatively)?
+
+    Compound statements (``if``/``for``/``try``/``with``) are treated
+    as raising — callers that want to reason about their interior
+    recurse explicitly.  Plain stores of constants, names and
+    attribute chains are the only statements treated as safe.
+    """
+    if isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal, ast.Import,
+                         ast.ImportFrom)):
+        return False
+    if isinstance(stmt, ast.Expr):
+        return _expr_may_raise(stmt.value)
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for t in targets:
+            if not isinstance(t, (ast.Name, ast.Attribute)):
+                return True  # subscript/tuple stores can raise
+        value = stmt.value
+        if value is None:
+            return False
+        return _expr_may_raise(value)
+    if isinstance(stmt, ast.Return):
+        return stmt.value is not None and _expr_may_raise(stmt.value)
+    return True
+
+
+def find_shm_attrs(
+    cls: ast.ClassDef,
+) -> tuple[str | None, ast.AST | None, str | None, set[str]]:
+    """Locate the shared-memory segment and its ndarray views in a class.
+
+    Returns ``(shm_attr, creation_node, creation_method, view_attrs)``:
+    the ``self.<attr>`` the ``SharedMemory(create=True)`` result is
+    stored into, the creating statement, the method it appears in, and
+    every ``self.<attr>`` assigned an ndarray built over the segment's
+    ``buf``.
+    """
+    shm_attr: str | None = None
+    creation: ast.AST | None = None
+    creation_method: str | None = None
+    view_attrs: set[str] = set()
+    for name, fn in methods(cls).items():
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            callee = call_name(value) or ""
+            target_attr = None
+            for t in targets:
+                chain = attr_chain(t) if isinstance(t, ast.Attribute) else None
+                if chain is not None and chain.startswith("self."):
+                    target_attr = chain.split(".", 1)[1]
+            if target_attr is None or "." in target_attr:
+                continue
+            if callee.split(".")[-1] == "SharedMemory" and any(
+                kw.arg == "create" for kw in value.keywords
+            ):
+                shm_attr = target_attr
+                creation = stmt
+                creation_method = name
+            for kw in value.keywords:
+                if kw.arg == "buffer":
+                    chain = attr_chain(kw.value) or ""
+                    if chain.startswith("self.") and chain.endswith(".buf"):
+                        view_attrs.add(target_attr)
+    return shm_attr, creation, creation_method, view_attrs
+
+
+def stmt_blocks(fn: ast.FunctionDef) -> Iterable[list[ast.stmt]]:
+    """Every statement block (list) nested anywhere inside a function."""
+    stack: list[list[ast.stmt]] = [fn.body]
+    while stack:
+        block = stack.pop()
+        yield block
+        for stmt in block:
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if sub:
+                    stack.append(sub)
+            for handler in getattr(stmt, "handlers", []) or []:
+                stack.append(handler.body)

@@ -1,0 +1,262 @@
+"""Signal/ambient-stack pairing: SR072.
+
+The resilience and backend layers both rely on *stack discipline*:
+
+* ``Checkpointer.install_signals`` reroutes SIGINT/SIGTERM and must be
+  undone by ``restore_signals`` on every exit path — leaving the
+  deferred-flush handler installed after the run corrupts every later
+  ``KeyboardInterrupt``;
+* the ambient stacks (``use_checkpoints``'s ``_default_stack``,
+  ``use_backend``'s ``_AMBIENT``) are pushed on entry and must be
+  popped on every exit path, or a single failed run poisons the
+  ambient state of every subsequent engine construction.
+
+The pass finds every *push site* (an ``install_signals`` call, or an
+``.append`` on a module-level list global) and proves it balanced: the
+statements following the push must be free of unprotected may-raise
+statements until a ``try`` whose ``finally`` performs the matching pop
+(``restore_signals`` on the same receiver / ``.pop()`` on the same
+stack).  A matching pop reached directly with no may-raise statement
+in between also balances (nothing can escape first).  Anything else is
+SR072 at the push line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..diagnostics import Diagnostic, LintReport
+from .astutil import attr_chain, make_diag, may_raise, parse_source
+
+__all__ = ["PairSpec", "DEFAULT_PAIRS", "audit_pairs"]
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """One push/pop method-name pair checked for stack discipline."""
+
+    push: str
+    pop: str
+    kind: str  # "signal" | "stack"
+
+
+#: the protocol-critical pairs of the resilience/backend layers
+DEFAULT_PAIRS: tuple[PairSpec, ...] = (
+    PairSpec("install_signals", "restore_signals", "signal"),
+    PairSpec("append", "pop", "stack"),
+)
+
+
+def _module_stacks(tree: ast.Module) -> set[str]:
+    """Module-level names bound to list literals (the ambient stacks)."""
+    stacks: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if isinstance(node.value, ast.List):
+                stacks.add(node.target.id)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            t = node.targets[0]
+            if isinstance(t, ast.Name) and isinstance(node.value, ast.List):
+                stacks.add(t.id)
+    return {s for s in stacks if not s.startswith("__")}
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One push or pop call: receiver chain + the statement owning it."""
+
+    receiver: str
+    call: ast.Call
+    stmt: ast.stmt
+
+
+def _classify_call(
+    call: ast.Call, stacks: set[str], pairs: tuple[PairSpec, ...]
+) -> tuple[PairSpec, str, str] | None:
+    """``(spec, role, receiver)`` when the call is a tracked push/pop."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = attr_chain(func.value)
+    if receiver is None:
+        return None
+    for spec in pairs:
+        if spec.kind == "stack" and receiver not in stacks:
+            continue
+        if func.attr == spec.push:
+            return spec, "push", receiver
+        if func.attr == spec.pop:
+            return spec, "pop", receiver
+    return None
+
+
+def _sites_in(
+    stmt: ast.stmt, stacks: set[str], pairs: tuple[PairSpec, ...], role: str
+) -> list[tuple[PairSpec, _Site]]:
+    """Tracked push/pop call sites inside one statement subtree."""
+    out: list[tuple[PairSpec, _Site]] = []
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            hit = _classify_call(node, stacks, pairs)
+            if hit is not None and hit[1] == role:
+                out.append((hit[0], _Site(hit[2], node, stmt)))
+    return out
+
+
+def _pop_in_finally(
+    try_stmt: ast.Try, spec: PairSpec, receiver: str, stacks: set[str],
+    pairs: tuple[PairSpec, ...],
+) -> bool:
+    """Does the try's ``finally`` pop this receiver's pair?"""
+    for stmt in try_stmt.finalbody:
+        for found_spec, site in _sites_in(stmt, stacks, pairs, "pop"):
+            if found_spec is spec and site.receiver == receiver:
+                return True
+    return False
+
+
+def _is_safe_between(
+    stmt: ast.stmt, stacks: set[str], pairs: tuple[PairSpec, ...]
+) -> bool:
+    """May this statement sit between a push and its protecting try?
+
+    Safe: provably non-raising statements, and other tracked pushes
+    (they are themselves checked for balance; ``list.append`` on the
+    ambient stacks is treated as non-raising).
+    """
+    if not may_raise(stmt):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        return _classify_call(stmt.value, stacks, pairs) is not None
+    if isinstance(stmt, ast.If):
+        # a guarded push (`if signals: x.install_signals()`) whose body
+        # holds only safe statements is safe as a whole
+        return all(
+            _is_safe_between(s, stacks, pairs) for s in stmt.body + stmt.orelse
+        )
+    return False
+
+
+def _check_block(
+    block: list[ast.stmt],
+    continuation: list[ast.stmt],
+    stacks: set[str],
+    pairs: tuple[PairSpec, ...],
+    report: LintReport,
+    filename: str,
+    subject: str,
+    line_offset: int,
+) -> None:
+    """Walk one statement block; verify each push found is balanced.
+
+    ``continuation`` is the statement list executing after this block
+    (the enclosing blocks' tails) — a push at the end of an ``if``
+    body is balanced by a ``try/finally`` that follows the ``if``.
+    """
+    for i, stmt in enumerate(block):
+        rest = block[i + 1 :] + continuation
+        # recurse into nested blocks with the right continuation
+        if isinstance(stmt, ast.If):
+            _check_block(stmt.body, rest, stacks, pairs, report, filename,
+                         subject, line_offset)
+            _check_block(stmt.orelse, rest, stacks, pairs, report, filename,
+                         subject, line_offset)
+        elif isinstance(stmt, ast.Try):
+            _check_block(stmt.body, stmt.finalbody + rest, stacks, pairs,
+                         report, filename, subject, line_offset)
+            for handler in stmt.handlers:
+                _check_block(handler.body, stmt.finalbody + rest, stacks,
+                             pairs, report, filename, subject, line_offset)
+            _check_block(stmt.finalbody, rest, stacks, pairs, report,
+                         filename, subject, line_offset)
+        elif isinstance(stmt, (ast.With, ast.For, ast.While)):
+            _check_block(stmt.body, rest, stacks, pairs, report, filename,
+                         subject, line_offset)
+        else:
+            for spec, site in _sites_in(stmt, stacks, pairs, "push"):
+                if not _push_balanced(site, spec, rest, stacks, pairs):
+                    report.add(
+                        make_diag(
+                            "SR072",
+                            subject,
+                            f"{site.receiver}.{spec.push}() is not paired "
+                            f"with {spec.pop}() on every control path: the "
+                            f"pop/restore must sit in a finally covering "
+                            f"the pushed region",
+                            filename,
+                            site.call,
+                            line_offset,
+                            push=spec.push,
+                            pop=spec.pop,
+                            receiver=site.receiver,
+                        )
+                    )
+
+
+def _push_balanced(
+    site: _Site,
+    spec: PairSpec,
+    rest: list[ast.stmt],
+    stacks: set[str],
+    pairs: tuple[PairSpec, ...],
+) -> bool:
+    """Is one push balanced by the statements that execute after it?"""
+    for stmt in rest:
+        if isinstance(stmt, ast.Try):
+            # only a finally-held pop survives an exception in the body
+            return _pop_in_finally(stmt, spec, site.receiver, stacks, pairs)
+        # direct pop with nothing risky in between: balanced
+        for found_spec, pop_site in _sites_in(stmt, stacks, pairs, "pop"):
+            if found_spec is spec and pop_site.receiver == site.receiver:
+                return True
+        if isinstance(stmt, ast.Return):
+            return False
+        if not _is_safe_between(stmt, stacks, pairs):
+            return False
+    return False
+
+
+def audit_pairs(
+    source: str,
+    filename: str,
+    pairs: tuple[PairSpec, ...] = DEFAULT_PAIRS,
+    line_offset: int = 0,
+) -> LintReport:
+    """The SR072 pairing pass over one module's source."""
+    report = LintReport()
+    subject = "protocol:pairing"
+    try:
+        tree = parse_source(source, filename)
+    except SyntaxError as exc:
+        report.add(
+            Diagnostic(
+                "SR078",
+                subject,
+                f"source does not parse, nothing is proven: {exc}",
+                {"file": filename, "line": exc.lineno or 0},
+            )
+        )
+        return report
+    stacks = _module_stacks(tree)
+    n_pushes = 0
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Call):
+                    hit = _classify_call(stmt, stacks, pairs)
+                    if hit is not None and hit[1] == "push":
+                        n_pushes += 1
+            _check_block(
+                list(node.body), [], stacks, pairs, report, filename,
+                subject, line_offset,
+            )
+    if report.ok() and n_pushes:
+        report.note(
+            f"protocol pairing: {n_pushes} push site(s) in {filename} "
+            f"balanced on all control paths "
+            f"(stacks: {sorted(stacks) or 'none'})"
+        )
+    return report

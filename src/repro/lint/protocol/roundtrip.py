@@ -1,0 +1,345 @@
+"""Checkpoint round-trip field analysis: SR073 / SR074.
+
+The ``repro.ckpt/1`` bit-identity guarantee is only as strong as the
+field-level agreement between each engine's ``checkpoint_payload`` and
+``restore_payload`` (and the ``_extra_checkpoint_state`` /
+``_restore_extra`` pair beneath them): a key written but never
+restored silently drops run-loop state on resume; a key restored but
+never written crashes (or worse, restores a default) on every resume;
+a field encoded through :func:`~repro.resilience.checkpoint.encode_array`
+but consumed without :func:`decode_array` breaks the dtype/encoding
+round trip.
+
+The pass parses both methods of a class, extracts the produced dict
+literal (keys + per-key codec: ``encode_array`` / ``rng_state`` /
+plain) and every consumption site (``payload["k"]`` subscripts,
+``payload.get("k", ...)`` calls, ``"k" in payload`` guards), then
+checks set equality modulo the *metadata keys* — identity fields
+(``kind``, ``fingerprint``, ``algorithm``, ...) that are validated or
+intentionally ignored rather than restored — and codec agreement per
+key.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..diagnostics import Diagnostic, LintReport
+from .astutil import class_def, make_diag, parse_source, walk_calls
+
+__all__ = ["METADATA_KEYS", "RoundTripSpec", "audit_roundtrip"]
+
+#: identity/metadata keys a restore validates or deliberately ignores
+#: instead of assigning back into the engine
+METADATA_KEYS = frozenset(
+    {
+        "kind",
+        "algorithm",
+        "model",
+        "lattice",
+        "time_mode",
+        "fingerprint",
+        "seed",
+        "n_replicas",
+    }
+)
+
+#: producer-side codec call -> codec tag
+_ENCODERS = {"encode_array": "array", "rng_state": "rng"}
+
+#: consumer-side codec call -> codec tag it satisfies
+_DECODERS = {"decode_array": "array", "restore_rng_state": "rng"}
+
+
+@dataclass(frozen=True)
+class RoundTripSpec:
+    """One produce/consume method pair audited for field agreement."""
+
+    produce: str
+    consume: str
+    metadata: frozenset[str] = METADATA_KEYS
+
+
+#: the two pair shapes every engine participates in
+PAIR_SPECS: tuple[RoundTripSpec, ...] = (
+    RoundTripSpec("checkpoint_payload", "restore_payload"),
+    RoundTripSpec("_extra_checkpoint_state", "_restore_extra", frozenset()),
+)
+
+
+@dataclass
+class _Produced:
+    """Codec + location for one produced payload key."""
+
+    codec: str
+    node: ast.AST
+
+
+@dataclass
+class _Consumed:
+    """Consumption sites + decoders applied for one payload key."""
+
+    nodes: list[ast.AST] = field(default_factory=list)
+    codecs: set[str] = field(default_factory=set)
+
+
+def _value_codec(value: ast.expr) -> str:
+    """Codec tag of a produced dict value expression."""
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _ENCODERS:
+            return _ENCODERS[value.func.id]
+    if isinstance(value, (ast.ListComp, ast.GeneratorExp)):
+        elt = value.elt
+        if isinstance(elt, ast.Call) and isinstance(elt.func, ast.Name):
+            if elt.func.id in _ENCODERS:
+                return _ENCODERS[elt.func.id] + "-seq"
+    return "plain"
+
+
+def _produced_keys(
+    fn: ast.FunctionDef,
+) -> tuple[dict[str, _Produced] | None, ast.AST | None]:
+    """Keys of the dict literal(s) returned by the producer method."""
+    produced: dict[str, _Produced] = {}
+    saw_dict = False
+    bad: ast.AST | None = None
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            bad = node
+            continue
+        saw_dict = True
+        for key, value in zip(node.value.keys, node.value.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                produced[key.value] = _Produced(_value_codec(value), key)
+            else:
+                bad = key if key is not None else node
+    if not saw_dict:
+        return None, bad
+    return produced, bad
+
+
+def _payload_param(fn: ast.FunctionDef) -> str | None:
+    """Name of the payload parameter (first one after ``self``)."""
+    args = [a.arg for a in fn.args.args if a.arg != "self"]
+    return args[0] if args else None
+
+
+def _consumed_keys(fn: ast.FunctionDef, param: str) -> dict[str, _Consumed]:
+    """Every key read from the payload parameter, with codec context."""
+    consumed: dict[str, _Consumed] = {}
+
+    def record(key: str, node: ast.AST) -> _Consumed:
+        return consumed.setdefault(key, _Consumed())
+
+    # direct reads and .get() calls
+    key_nodes: dict[int, str] = {}
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            entry = record(node.slice.value, node)
+            entry.nodes.append(node)
+            key_nodes[id(node)] = node.slice.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            entry = record(node.args[0].value, node)
+            entry.nodes.append(node)
+            key_nodes[id(node)] = node.args[0].value
+        elif (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.In, ast.NotIn))
+            and isinstance(node.comparators[0], ast.Name)
+            and node.comparators[0].id == param
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+        ):
+            entry = record(node.left.value, node)
+            entry.nodes.append(node)
+    # decoder context: which keys flow through decode calls
+    for call in walk_calls(fn):
+        if not (
+            isinstance(call.func, ast.Name) and call.func.id in _DECODERS
+        ):
+            continue
+        codec = _DECODERS[call.func.id]
+        for arg in call.args:
+            for sub in ast.walk(arg):
+                key = key_nodes.get(id(sub))
+                if key is not None:
+                    consumed[key].codecs.add(codec)
+    # iteration context: `for x, rec in zip(..., payload["rngs"])` feeding
+    # a decoder inside the loop body counts as a sequenced decode
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.For):
+            continue
+        reads: set[str] = set()
+        for sub in ast.walk(node.iter):
+            key = key_nodes.get(id(sub))
+            if key is not None:
+                reads.add(key)
+        if not reads:
+            continue
+        for call in walk_calls(node):
+            if isinstance(call.func, ast.Name) and call.func.id in _DECODERS:
+                for key in reads:
+                    consumed[key].codecs.add(_DECODERS[call.func.id] + "-seq")
+    return consumed
+
+
+def audit_roundtrip(
+    source: str,
+    filename: str,
+    class_name: str,
+    line_offset: int = 0,
+    metadata_keys: frozenset[str] = METADATA_KEYS,
+) -> LintReport:
+    """The SR073/SR074 pass over one engine class's source."""
+    report = LintReport()
+    subject = f"protocol:{class_name}"
+
+    def diag(code: str, message: str, node: ast.AST, **data: object) -> None:
+        report.add(
+            make_diag(
+                code, subject, message, filename, node, line_offset, **data
+            )
+        )
+
+    try:
+        tree = parse_source(source, filename)
+    except SyntaxError as exc:
+        report.add(
+            Diagnostic(
+                "SR078",
+                subject,
+                f"source does not parse, nothing is proven: {exc}",
+                {"file": filename, "line": exc.lineno or 0},
+            )
+        )
+        return report
+    cls = class_def(tree, class_name)
+    if cls is None:
+        diag("SR078", f"class {class_name} not found in {filename}", tree)
+        return report
+    mets = {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, ast.FunctionDef)
+    }
+    audited = 0
+    for spec in PAIR_SPECS:
+        produce = mets.get(spec.produce)
+        consume = mets.get(spec.consume)
+        if produce is None and consume is None:
+            continue
+        if produce is None or consume is None:
+            present = produce or consume
+            assert present is not None
+            diag(
+                "SR073",
+                f"{class_name} overrides {present.name} without its "
+                f"counterpart ({spec.consume if consume is None else spec.produce})"
+                f" — the round trip is one-sided",
+                present,
+                pair=(spec.produce, spec.consume),
+            )
+            continue
+        audited += 1
+        meta = metadata_keys if spec.metadata else frozenset()
+        produced, bad = _produced_keys(produce)
+        if produced is None:
+            diag(
+                "SR078",
+                f"{spec.produce} does not return a dict literal the field "
+                f"analysis can model",
+                bad if bad is not None else produce,
+            )
+            continue
+        if bad is not None:
+            diag(
+                "SR078",
+                f"{spec.produce} builds payload keys the field analysis "
+                f"cannot resolve statically",
+                bad,
+            )
+        param = _payload_param(consume)
+        if param is None:
+            diag(
+                "SR078",
+                f"{spec.consume} takes no payload parameter to analyse",
+                consume,
+            )
+            continue
+        consumed = _consumed_keys(consume, param)
+        # SR073: written but never restored / restored but never written
+        for key in sorted(set(produced) - set(consumed) - meta):
+            diag(
+                "SR073",
+                f"payload key {key!r} is written by {spec.produce} but "
+                f"never consumed by {spec.consume} — its state is silently "
+                f"dropped on resume",
+                produced[key].node,
+                key=key,
+                direction="written-not-restored",
+            )
+        for key in sorted(set(consumed) - set(produced)):
+            diag(
+                "SR073",
+                f"payload key {key!r} is consumed by {spec.consume} but "
+                f"never written by {spec.produce} — every resume reads a "
+                f"missing field",
+                consumed[key].nodes[0],
+                key=key,
+                direction="restored-not-written",
+            )
+        # SR074: codec agreement per shared key
+        for key in sorted(set(produced) & set(consumed)):
+            codec = produced[key].codec
+            applied = consumed[key].codecs
+            if codec == "plain":
+                if applied:
+                    diag(
+                        "SR074",
+                        f"payload key {key!r} is written plain but restored "
+                        f"through {sorted(applied)} — the decode will reject "
+                        f"or reinterpret the value",
+                        consumed[key].nodes[0],
+                        key=key,
+                        produced="plain",
+                        consumed=sorted(applied),
+                    )
+                continue
+            base = codec.removesuffix("-seq")
+            if not any(a.removesuffix("-seq") == base for a in applied):
+                decoder = {v: k for k, v in _DECODERS.items()}[base]
+                diag(
+                    "SR074",
+                    f"payload key {key!r} is encoded with codec "
+                    f"{codec!r} but {spec.consume} never passes it through "
+                    f"{decoder} — the dtype/encoding round trip is broken",
+                    consumed[key].nodes[0],
+                    key=key,
+                    produced=codec,
+                    consumed=sorted(applied),
+                )
+    if report.ok() and audited:
+        report.note(
+            f"protocol round-trip: {class_name} payload fields and codecs "
+            f"agree across {audited} produce/consume pair(s)"
+        )
+    return report

@@ -1,0 +1,300 @@
+"""Spawn-safety pass: SR077.
+
+Worker processes receive their inputs through exactly two channels:
+the pickled ``initargs`` tuple handed to the pool initializer, and the
+pickled task tuples handed to ``starmap``.  Anything else a worker
+touches — an instance attribute captured in ``initargs``, a lambda, a
+master-side mutable module global — either fails to pickle under the
+``spawn`` start method or, worse, *silently diverges*: under ``fork``
+the worker inherits a copy of the master's global at fork time, so a
+master-side mutation after the fork is invisible to workers and the
+parallel run drifts from the serial one without any exception.
+
+The pass flags, per SR077:
+
+* a pool ``initializer`` that is not a module-level function (bound
+  methods and lambdas are unpicklable under ``spawn``);
+* ``initargs`` elements that ship live resources: a bare
+  ``self.<attr>`` whose attribute names a known-unpicklable resource
+  (backends carry compiled-kernel handles; pools and shared-memory
+  blocks are never picklable).  Chains like ``self._shm.name`` or
+  ``self.backend.name`` are fine — they evaluate to plain strings
+  before pickling;
+* worker-side reads of master-side *mutable* module globals (names
+  bound to dict/list/set literals at module level) that no worker
+  function itself initialises via ``global`` assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic, LintReport
+from .astutil import attr_chain, func_defs, make_diag, parse_source, walk_calls
+
+__all__ = ["UNPICKLABLE_ATTRS", "POOL_DISPATCH", "audit_spawn"]
+
+#: ``self.<attr>`` resources that must never ride in ``initargs``
+UNPICKLABLE_ATTRS = frozenset(
+    {"backend", "metrics", "tracer", "chaos", "_pool", "_shm"}
+)
+
+#: pool methods whose first argument is executed in a worker process
+POOL_DISPATCH = frozenset(
+    {"map", "map_async", "starmap", "starmap_async", "apply", "apply_async",
+     "imap", "imap_unordered"}
+)
+
+#: module-level value shapes that make a global master-side-mutable
+_MUTABLE_LITERALS = (
+    ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp,
+)
+_MUTABLE_FACTORIES = frozenset({"dict", "list", "set", "defaultdict"})
+
+
+def _mutable_globals(tree: ast.Module) -> dict[str, ast.stmt]:
+    """Module-level names bound to mutable containers, with their site."""
+    out: dict[str, ast.stmt] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        mutable = isinstance(value, _MUTABLE_LITERALS) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_FACTORIES
+        )
+        if not mutable:
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                out[t.id] = node
+    return out
+
+
+def _global_assigned_names(fn: ast.FunctionDef) -> set[str]:
+    """Names a function declares ``global`` and assigns (worker init)."""
+    declared: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return set()
+    assigned: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id in declared:
+                    assigned.add(t.id)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            t = node.target
+            if isinstance(t, ast.Name) and t.id in declared:
+                assigned.add(t.id)
+    return assigned
+
+
+def _local_names(fn: ast.FunctionDef) -> set[str]:
+    """Parameter and locally-assigned names (shadow module globals)."""
+    names = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+    if fn.args.vararg:
+        names.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        names.add(fn.args.kwarg.arg)
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                for e in t.elts if isinstance(t, ast.Tuple) else [t]:
+                    if isinstance(e, ast.Name) and e.id not in declared_global:
+                        names.add(e.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            t = node.target
+            for e in t.elts if isinstance(t, ast.Tuple) else [t]:
+                if isinstance(e, ast.Name):
+                    names.add(e.id)
+    return names
+
+
+def _pool_calls(tree: ast.Module) -> list[ast.Call]:
+    """Every ``Pool(...)``-shaped constructor call in the module."""
+    out = []
+    for call in walk_calls(tree):
+        name = attr_chain(call.func) or (
+            call.func.id if isinstance(call.func, ast.Name) else ""
+        )
+        if name and name.split(".")[-1] == "Pool":
+            out.append(call)
+    return out
+
+
+def _dispatch_targets(tree: ast.Module) -> list[tuple[str, ast.Call]]:
+    """Names dispatched to workers via pool map/starmap calls."""
+    out: list[tuple[str, ast.Call]] = []
+    for call in walk_calls(tree):
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in POOL_DISPATCH
+        ):
+            continue
+        receiver = attr_chain(func.value) or ""
+        if "pool" not in receiver.lower():
+            continue
+        if call.args and isinstance(call.args[0], ast.Name):
+            out.append((call.args[0].id, call))
+    return out
+
+
+def audit_spawn(
+    source: str,
+    filename: str,
+    line_offset: int = 0,
+    unpicklable_attrs: frozenset[str] = UNPICKLABLE_ATTRS,
+) -> LintReport:
+    """The SR077 pass over one executor module's source."""
+    report = LintReport()
+    subject = "protocol:spawn"
+
+    def diag(code: str, message: str, node: ast.AST, **data: object) -> None:
+        report.add(
+            make_diag(
+                code, subject, message, filename, node, line_offset, **data
+            )
+        )
+
+    try:
+        tree = parse_source(source, filename)
+    except SyntaxError as exc:
+        report.add(
+            Diagnostic(
+                "SR078",
+                subject,
+                f"source does not parse, nothing is proven: {exc}",
+                {"file": filename, "line": exc.lineno or 0},
+            )
+        )
+        return report
+
+    module_functions = func_defs(tree)
+    worker_names: set[str] = set()
+
+    # -- initializer + initargs of every Pool() construction -----------
+    pool_calls = _pool_calls(tree)
+    for call in pool_calls:
+        for kw in call.keywords:
+            if kw.arg == "initializer":
+                v = kw.value
+                if isinstance(v, ast.Name):
+                    if v.id in module_functions:
+                        worker_names.add(v.id)
+                    else:
+                        diag(
+                            "SR077",
+                            f"pool initializer {v.id!r} is not a "
+                            f"module-level function — it cannot be pickled "
+                            f"under the spawn start method",
+                            v,
+                            initializer=v.id,
+                        )
+                elif v is not None and not (
+                    isinstance(v, ast.Constant) and v.value is None
+                ):
+                    diag(
+                        "SR077",
+                        "pool initializer is not a module-level function "
+                        "reference — lambdas and bound methods cannot be "
+                        "pickled under the spawn start method",
+                        v,
+                    )
+            elif kw.arg == "initargs":
+                elts = (
+                    kw.value.elts
+                    if isinstance(kw.value, (ast.Tuple, ast.List))
+                    else []
+                )
+                for elt in elts:
+                    if isinstance(elt, ast.Lambda):
+                        diag(
+                            "SR077",
+                            "initargs ships a lambda — unpicklable under "
+                            "the spawn start method",
+                            elt,
+                        )
+                        continue
+                    chain = attr_chain(elt)
+                    if (
+                        chain is not None
+                        and chain.startswith("self.")
+                        and chain.count(".") == 1
+                        and chain.split(".")[1] in unpicklable_attrs
+                    ):
+                        diag(
+                            "SR077",
+                            f"initargs ships {chain} — a live "
+                            f"resource/compiled-handle object; pass a "
+                            f"picklable identifier (e.g. {chain}.name) and "
+                            f"re-resolve it worker-side",
+                            elt,
+                            attr=chain,
+                        )
+
+    # -- functions dispatched to workers -------------------------------
+    for name, call in _dispatch_targets(tree):
+        if name in module_functions:
+            worker_names.add(name)
+        else:
+            diag(
+                "SR077",
+                f"pool dispatch target {name!r} is not a module-level "
+                f"function — it cannot be pickled under the spawn start "
+                f"method",
+                call,
+                target=name,
+            )
+
+    # -- worker-side reads of master-side mutable globals --------------
+    mutable = _mutable_globals(tree)
+    worker_fns = [module_functions[n] for n in sorted(worker_names)]
+    worker_initialised: set[str] = set()
+    for fn in worker_fns:
+        worker_initialised |= _global_assigned_names(fn)
+    for fn in worker_fns:
+        locals_ = _local_names(fn)
+        flagged: set[str] = set()
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutable
+            ):
+                continue
+            if node.id in worker_initialised or node.id in locals_:
+                continue
+            if node.id in flagged:
+                continue
+            flagged.add(node.id)
+            diag(
+                "SR077",
+                f"worker function {fn.name} reads master-side mutable "
+                f"global {node.id!r} — under fork it sees a stale copy, "
+                f"under spawn a re-imported default; pass the value "
+                f"through initargs or the task tuple instead",
+                node,
+                function=fn.name,
+                name=node.id,
+            )
+
+    if report.ok() and (pool_calls or worker_names):
+        report.note(
+            f"protocol spawn: {len(pool_calls)} pool construction(s) and "
+            f"{len(sorted(worker_names))} worker function(s) "
+            f"spawn-safe ({', '.join(sorted(worker_names)) or 'none'})"
+        )
+    return report

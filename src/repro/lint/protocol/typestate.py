@@ -1,0 +1,474 @@
+"""SharedMemory lifecycle typestate: SR070 (leak) / SR071 (use-after-close).
+
+The executor's shared segment follows a strict typestate protocol::
+
+    CREATED --(close + unlink)--> RELEASED
+
+and the verifier proves the transition happens on *every* control
+path of :class:`repro.parallel.executor.ParallelChunkExecutor`:
+
+* a **releaser** method must exist: one that (possibly through local
+  aliases and ``getattr`` guards) calls both ``.close()`` and
+  ``.unlink()`` on the segment — close without unlink leaves the
+  backing file behind, unlink without close leaks the mapping;
+* in the creating method (``__init__``), every statement after the
+  creation that may raise must be covered by a ``try`` whose
+  ``except``/``finally`` releases the segment before propagating —
+  otherwise a failed construction leaks the segment until process
+  exit (``__del__`` cannot save it: a half-built object may not reach
+  the release path);
+* ``close()`` must reach a releaser, ``__exit__`` must call ``close``
+  (or a releaser), and the ``__del__`` GC safety net must exist,
+  reference ``close`` and swallow *every* exception — during
+  interpreter shutdown even the raise machinery is unreliable;
+* after a releasing call, no method may touch the segment or an
+  ndarray view into it again (SR071): the mapping is gone and a stale
+  view dereference crashes the interpreter outright.
+
+Everything is source-level; tests feed seeded mutants of the executor
+source through :func:`audit_shm_lifecycle` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic, LintReport
+from .astutil import (
+    attr_chain,
+    class_def,
+    find_shm_attrs,
+    make_diag,
+    may_raise,
+    methods,
+    parse_source,
+    walk_calls,
+)
+
+__all__ = ["audit_shm_lifecycle", "releaser_methods"]
+
+
+def _shm_refs(fn: ast.FunctionDef, shm_attr: str) -> set[str]:
+    """Names referring to the segment inside one method.
+
+    ``self.<shm_attr>`` plus local aliases bound by plain assignment
+    (``shm = self._shm``), ``getattr(self, "<shm_attr>", ...)`` and
+    swap patterns (``shm, self._shm = self._shm, None``).
+    """
+    refs = {f"self.{shm_attr}"}
+    changed = True
+    while changed:
+        changed = False
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            pairs: list[tuple[ast.expr, ast.expr]] = []
+            if (
+                len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Tuple)
+                and isinstance(stmt.value, ast.Tuple)
+                and len(stmt.targets[0].elts) == len(stmt.value.elts)
+            ):
+                pairs = list(zip(stmt.targets[0].elts, stmt.value.elts))
+            elif len(stmt.targets) == 1:
+                pairs = [(stmt.targets[0], stmt.value)]
+            for target, value in pairs:
+                if not isinstance(target, ast.Name) or target.id in refs:
+                    continue
+                chain = attr_chain(value)
+                if chain in refs:
+                    refs.add(target.id)
+                    changed = True
+                elif (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "getattr"
+                    and len(value.args) >= 2
+                    and isinstance(value.args[1], ast.Constant)
+                    and value.args[1].value == shm_attr
+                ):
+                    refs.add(target.id)
+                    changed = True
+    return refs
+
+
+def _release_calls(
+    fn: ast.FunctionDef, shm_attr: str
+) -> tuple[list[ast.Call], list[ast.Call]]:
+    """``(close_calls, unlink_calls)`` on the segment inside one method."""
+    refs = _shm_refs(fn, shm_attr)
+    close_calls: list[ast.Call] = []
+    unlink_calls: list[ast.Call] = []
+    for call in walk_calls(fn):
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        receiver = attr_chain(func.value)
+        if receiver not in refs:
+            continue
+        if func.attr == "close":
+            close_calls.append(call)
+        elif func.attr == "unlink":
+            unlink_calls.append(call)
+    return close_calls, unlink_calls
+
+
+def releaser_methods(cls: ast.ClassDef, shm_attr: str) -> set[str]:
+    """Methods that (transitively) close *and* unlink the segment."""
+    mets = methods(cls)
+    direct = {
+        name
+        for name, fn in mets.items()
+        if all(_release_calls(fn, shm_attr))
+    }
+    # transitive closure over self.<releaser>() calls
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in mets.items():
+            if name in direct:
+                continue
+            for call in walk_calls(fn):
+                chain = attr_chain(call.func) or ""
+                if chain.startswith("self.") and chain[5:] in direct:
+                    direct.add(name)
+                    changed = True
+                    break
+    return direct
+
+
+def _calls_any(fn: ast.FunctionDef, names: set[str]) -> bool:
+    """Does the method call ``self.<name>()`` for any listed name?
+
+    ``getattr(self, "<name>", None)`` aliases followed by a call of
+    the alias (the ``__del__`` shutdown idiom) also count.
+    """
+    aliases: set[str] = set()
+    for stmt in ast.walk(fn):
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id == "getattr"
+            and len(stmt.value.args) >= 2
+            and isinstance(stmt.value.args[1], ast.Constant)
+            and stmt.value.args[1].value in names
+        ):
+            aliases.add(stmt.targets[0].id)
+    for call in walk_calls(fn):
+        chain = attr_chain(call.func) or ""
+        if chain.startswith("self.") and chain[5:] in names:
+            return True
+        if isinstance(call.func, ast.Name) and call.func.id in aliases:
+            return True
+    return False
+
+
+def _protective_try(stmt: ast.stmt, releasers: set[str]) -> bool:
+    """Is this a ``try`` whose failure path releases the segment?
+
+    Accepted shapes: an ``except`` handler catching ``BaseException``/
+    ``Exception`` (or bare) that calls a releaser and re-raises, or a
+    ``finally`` that calls a releaser.
+    """
+    if not isinstance(stmt, ast.Try):
+        return False
+    if stmt.finalbody:
+        fake = ast.FunctionDef(
+            name="<finally>", args=_empty_args(), body=stmt.finalbody,
+            decorator_list=[], returns=None, type_comment=None,
+        )
+        if _calls_any(fake, releasers):
+            return True
+    for handler in stmt.handlers:
+        htype = handler.type
+        if htype is not None:
+            name = attr_chain(htype) or ""
+            if name.split(".")[-1] not in ("BaseException", "Exception"):
+                continue
+        fake = ast.FunctionDef(
+            name="<handler>", args=_empty_args(), body=handler.body,
+            decorator_list=[], returns=None, type_comment=None,
+        )
+        reraises = any(
+            isinstance(s, ast.Raise) and s.exc is None
+            for s in ast.walk(ast.Module(body=handler.body, type_ignores=[]))
+        )
+        if _calls_any(fake, releasers) and reraises:
+            return True
+    return False
+
+
+def _empty_args() -> ast.arguments:
+    return ast.arguments(
+        posonlyargs=[], args=[], vararg=None, kwonlyargs=[],
+        kw_defaults=[], kwarg=None, defaults=[],
+    )
+
+
+def _view_uses(
+    fn: ast.FunctionDef, attrs: set[str]
+) -> list[tuple[ast.AST, str]]:
+    """Reads/dereferences of ``self.<attr>`` for the given attrs.
+
+    Plain ``self.X = None`` stores and ``is None`` guards are the
+    release idiom and do not count; everything else — loads, subscript
+    stores, method calls on the view — does.
+    """
+    exempt: set[int] = set()
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            if isinstance(value, ast.Constant) and value.value is None:
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for t in targets:
+                    exempt.add(id(t))
+        if isinstance(stmt, ast.Compare):
+            exempt.update(id(c) for c in [stmt.left, *stmt.comparators])
+    uses: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Attribute):
+            continue
+        chain = attr_chain(node)
+        if chain is None or not chain.startswith("self."):
+            continue
+        attr = chain.split(".")[1]
+        if attr not in attrs or id(node) in exempt:
+            continue
+        uses.append((node, attr))
+    return uses
+
+
+def audit_shm_lifecycle(
+    source: str,
+    filename: str,
+    class_name: str = "ParallelChunkExecutor",
+    line_offset: int = 0,
+) -> LintReport:
+    """The SR070/SR071 typestate pass over one executor-like class."""
+    report = LintReport()
+    subject = f"protocol:{class_name}"
+
+    def diag(code: str, message: str, node: ast.AST, **data: object) -> None:
+        report.add(
+            make_diag(
+                code, subject, message, filename, node, line_offset, **data
+            )
+        )
+
+    try:
+        tree = parse_source(source, filename)
+    except SyntaxError as exc:
+        report.add(
+            Diagnostic(
+                "SR078",
+                subject,
+                f"source does not parse, nothing is proven: {exc}",
+                {"file": filename, "line": exc.lineno or 0},
+            )
+        )
+        return report
+    cls = class_def(tree, class_name)
+    if cls is None:
+        diag("SR078", f"class {class_name} not found in {filename}", tree)
+        return report
+    shm_attr, creation, creation_method, view_attrs = find_shm_attrs(cls)
+    if shm_attr is None or creation is None:
+        diag(
+            "SR078",
+            f"{class_name} has no SharedMemory(create=True) site the "
+            f"typestate analysis can anchor on",
+            cls,
+        )
+        return report
+    mets = methods(cls)
+
+    # -- a releaser must exist (close AND unlink) ----------------------
+    releasers = releaser_methods(cls, shm_attr)
+    if not releasers:
+        # close-without-unlink is the canonical leak: name its site
+        where: ast.AST = creation
+        detail = "no method releases it"
+        for fn in mets.values():
+            close_calls, unlink_calls = _release_calls(fn, shm_attr)
+            if close_calls and not unlink_calls:
+                where = close_calls[0]
+                detail = (
+                    f"{fn.name} closes the mapping but never unlinks the "
+                    f"segment — the backing file persists after exit"
+                )
+                break
+            if unlink_calls and not close_calls:
+                where = unlink_calls[0]
+                detail = (
+                    f"{fn.name} unlinks the segment but never closes the "
+                    f"mapping"
+                )
+                break
+        diag(
+            "SR070",
+            f"self.{shm_attr} is created but {detail}",
+            where,
+            attr=shm_attr,
+        )
+        return report
+
+    # -- creation method: exception paths must release -----------------
+    create_fn = mets[creation_method] if creation_method else None
+    if create_fn is not None:
+        block = _enclosing_block(create_fn, creation)
+        after = block[block.index(creation) + 1 :] if block else []
+        for stmt in after:
+            if isinstance(stmt, ast.Try):
+                if not _protective_try(stmt, releasers):
+                    diag(
+                        "SR070",
+                        f"try after the creation of self.{shm_attr} has no "
+                        f"handler that releases the segment and re-raises — "
+                        f"a failure here leaks it",
+                        stmt,
+                        attr=shm_attr,
+                        method=creation_method,
+                    )
+                continue
+            if may_raise(stmt):
+                diag(
+                    "SR070",
+                    f"statement after the creation of self.{shm_attr} may "
+                    f"raise outside any releasing try/except — a failed "
+                    f"{creation_method} leaks the segment",
+                    stmt,
+                    attr=shm_attr,
+                    method=creation_method,
+                )
+
+    # -- close() must reach a releaser ---------------------------------
+    close_fn = mets.get("close")
+    if close_fn is None:
+        diag("SR070", f"{class_name} has no close() method", cls)
+    elif "close" not in releasers:
+        diag(
+            "SR070",
+            f"close() never reaches a method that closes and unlinks "
+            f"self.{shm_attr}",
+            close_fn,
+            attr=shm_attr,
+        )
+
+    # -- __exit__ and the __del__ GC safety net ------------------------
+    exit_fn = mets.get("__exit__")
+    if exit_fn is not None and not _calls_any(
+        exit_fn, releasers | {"close"}
+    ):
+        diag(
+            "SR070",
+            "__exit__ does not release the segment (close() unreached)",
+            exit_fn,
+        )
+    del_fn = mets.get("__del__")
+    if del_fn is None:
+        diag(
+            "SR070",
+            f"{class_name} has no __del__ GC safety net: an executor "
+            f"dropped without close() leaks the segment",
+            cls,
+        )
+    else:
+        if not _calls_any(del_fn, releasers | {"close"}):
+            diag(
+                "SR070",
+                "__del__ never reaches close(): the GC safety net does "
+                "not release the segment",
+                del_fn,
+            )
+        for stmt in del_fn.body:
+            if isinstance(stmt, ast.Try):
+                caught = {
+                    (attr_chain(h.type) or "").split(".")[-1]
+                    if h.type is not None
+                    else "BaseException"
+                    for h in stmt.handlers
+                }
+                if "BaseException" not in caught:
+                    diag(
+                        "SR070",
+                        "__del__ must swallow BaseException: during "
+                        "interpreter shutdown any exception escaping a "
+                        "finalizer is unreportable",
+                        stmt,
+                    )
+            elif may_raise(stmt):
+                diag(
+                    "SR070",
+                    "__del__ statement may raise outside a try — GC "
+                    "finalizers must never propagate",
+                    stmt,
+                )
+
+    # -- SR071: use-after-release within each method -------------------
+    tracked = view_attrs | {shm_attr}
+    for name, fn in mets.items():
+        release_line = _first_release_line(fn, shm_attr, releasers)
+        if release_line is None:
+            continue
+        for node, attr in _view_uses(fn, tracked):
+            if node.lineno > release_line:
+                diag(
+                    "SR071",
+                    f"{name} accesses self.{attr} after the segment has "
+                    f"been released (line {release_line + line_offset}) — "
+                    f"the mapping is gone",
+                    node,
+                    attr=attr,
+                    method=name,
+                    released_at=release_line + line_offset,
+                )
+
+    if report.ok():
+        report.note(
+            f"protocol typestate: self.{shm_attr} "
+            f"(views: {sorted(view_attrs) or 'none'}) is released on every "
+            f"path of {class_name} — releasers: {sorted(releasers)}"
+        )
+    return report
+
+
+def _enclosing_block(
+    fn: ast.FunctionDef, target: ast.AST
+) -> list[ast.stmt] | None:
+    """The statement list that directly contains ``target``."""
+    from .astutil import stmt_blocks
+
+    for block in stmt_blocks(fn):
+        if any(s is target for s in block):
+            return block
+    return None
+
+
+def _first_release_line(
+    fn: ast.FunctionDef, shm_attr: str, releasers: set[str]
+) -> int | None:
+    """Line of the first releasing action inside one method, if any.
+
+    A releasing action is a call to a releaser method (``close`` in
+    the caller's frame is releasing only if it *is* a releaser) or a
+    direct ``.unlink()`` on the segment.  The releaser's own interior
+    (the close/unlink sequence itself) is exempted by only counting
+    calls, not the unlink when the method is itself a releaser.
+    """
+    lines: list[int] = []
+    is_releaser = fn.name in releasers
+    for call in walk_calls(fn):
+        chain = attr_chain(call.func) or ""
+        if chain.startswith("self.") and chain[5:] in releasers:
+            lines.append(call.lineno)
+    if not is_releaser:
+        _, unlink_calls = _release_calls(fn, shm_attr)
+        lines.extend(c.lineno for c in unlink_calls)
+    return min(lines) if lines else None

@@ -39,6 +39,7 @@ DEFAULT_OUT = Path("benchmarks/reports")
 
 #: memoised native-lint verdict — identical for every record of a run
 _lint_verdict_cache: dict | None = None
+_protocol_verdict_cache: dict | None = None
 
 
 def _native_lint_verdict() -> dict:
@@ -56,6 +57,22 @@ def _native_lint_verdict() -> dict:
 
         _lint_verdict_cache = lint_verdict()
     return _lint_verdict_cache
+
+
+def _protocol_lint_verdict() -> dict:
+    """The condensed SR070-range verdict stamped into each record.
+
+    Same comparability argument as :func:`_native_lint_verdict`, one
+    layer up: a bench point ran under a verified execution/resilience
+    protocol (shm lifecycle, signal pairing, checkpoint round trips,
+    recovery ladder, spawn safety) or it did not.
+    """
+    global _protocol_verdict_cache
+    if _protocol_verdict_cache is None:
+        from ..lint.protocol import protocol_verdict
+
+        _protocol_verdict_cache = protocol_verdict()
+    return _protocol_verdict_cache
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +217,7 @@ def run_engine_bench(
         "until": until,
         "backend": be.name,
         "lint": dict(_native_lint_verdict()),
+        "protocol_lint": dict(_protocol_lint_verdict()),
     }
     if hasattr(result, "n_replicas"):
         extra["n_replicas"] = int(result.n_replicas)

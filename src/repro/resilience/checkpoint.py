@@ -458,7 +458,15 @@ class Checkpointer:
         self._signal = signum
 
     def install_signals(self) -> None:
-        """Route SIGINT/SIGTERM through the deferred-flush handler."""
+        """Route SIGINT/SIGTERM through the deferred-flush handler.
+
+        Idempotent per instance: a second install while handlers are
+        already rerouted is a no-op — recording our own handler as the
+        "previous" one would make the later restore re-install it and
+        leave the deferred-flush reroute in place forever.
+        """
+        if self._old_handlers:
+            return
         for signum in (_signal.SIGINT, _signal.SIGTERM):
             try:
                 self._old_handlers[signum] = _signal.signal(

@@ -447,6 +447,95 @@ class TestCheckpointer:
 
 
 # ----------------------------------------------------------------------
+class TestSignalDiscipline:
+    """install_signals/restore_signals pairing under nesting and failure."""
+
+    def test_double_install_is_idempotent(self, tmp_path):
+        import signal as signal_mod
+
+        original = signal_mod.getsignal(signal_mod.SIGINT)
+        ck = Checkpointer(tmp_path)
+        try:
+            ck.install_signals()
+            ck.install_signals()  # must NOT record our own handler as "old"
+            assert ck._old_handlers[signal_mod.SIGINT] == original
+            ck.restore_signals()
+            assert signal_mod.getsignal(signal_mod.SIGINT) == original
+        finally:
+            signal_mod.signal(signal_mod.SIGINT, original)
+
+    def test_nested_install_restore_unwinds_in_order(self, tmp_path):
+        import signal as signal_mod
+
+        original = signal_mod.getsignal(signal_mod.SIGINT)
+        outer = Checkpointer(tmp_path / "outer")
+        inner = Checkpointer(tmp_path / "inner")
+        try:
+            outer.install_signals()
+            inner.install_signals()
+            assert signal_mod.getsignal(signal_mod.SIGINT) == inner._on_signal
+            inner.restore_signals()
+            assert signal_mod.getsignal(signal_mod.SIGINT) == outer._on_signal
+            outer.restore_signals()
+            assert signal_mod.getsignal(signal_mod.SIGINT) == original
+        finally:
+            signal_mod.signal(signal_mod.SIGINT, original)
+
+    def test_restore_after_restore_is_a_no_op(self, tmp_path):
+        import signal as signal_mod
+
+        original = signal_mod.getsignal(signal_mod.SIGINT)
+        ck = Checkpointer(tmp_path)
+        try:
+            ck.install_signals()
+            ck.restore_signals()
+            ck.restore_signals()  # cleared handler map: nothing to undo
+            assert signal_mod.getsignal(signal_mod.SIGINT) == original
+        finally:
+            signal_mod.signal(signal_mod.SIGINT, original)
+
+    def test_use_checkpoints_restores_on_exception(self, tmp_path):
+        import signal as signal_mod
+
+        original = signal_mod.getsignal(signal_mod.SIGINT)
+        ck = Checkpointer(tmp_path)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                with use_checkpoints(ck):
+                    assert (
+                        signal_mod.getsignal(signal_mod.SIGINT)
+                        == ck._on_signal
+                    )
+                    raise RuntimeError("boom")
+            assert signal_mod.getsignal(signal_mod.SIGINT) == original
+            assert current_checkpointer() is None
+        finally:
+            signal_mod.signal(signal_mod.SIGINT, original)
+
+    def test_nested_use_checkpoints_with_exception_unwinds(self, tmp_path):
+        import signal as signal_mod
+
+        original = signal_mod.getsignal(signal_mod.SIGINT)
+        outer = Checkpointer(tmp_path / "outer")
+        inner = Checkpointer(tmp_path / "inner")
+        try:
+            with use_checkpoints(outer):
+                with pytest.raises(RuntimeError):
+                    with use_checkpoints(inner):
+                        raise RuntimeError("inner failure")
+                # the inner scope unwound to the outer installation
+                assert current_checkpointer() is outer
+                assert (
+                    signal_mod.getsignal(signal_mod.SIGINT)
+                    == outer._on_signal
+                )
+            assert current_checkpointer() is None
+            assert signal_mod.getsignal(signal_mod.SIGINT) == original
+        finally:
+            signal_mod.signal(signal_mod.SIGINT, original)
+
+
+# ----------------------------------------------------------------------
 class TestCLI:
     def test_round_trip_digest(self, ziff, tmp_path, capsys):
         from repro.__main__ import main
