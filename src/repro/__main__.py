@@ -4,13 +4,21 @@ Commands
 --------
 ``list``
     List the reproduction experiments (tables/figures) and algorithms.
-``run <experiment-id> [--metrics] [--backend NAME]``
+``run <experiment-id|run-id|scenario> [--metrics] [--backend NAME]``
     Run one experiment by registry id and print its report
     (e.g. ``python -m repro run fig4``); ``--metrics`` appends the
     run's collected counters/histograms (see :mod:`repro.obs`);
     ``--backend`` selects the kernel backend (numpy/cnative/numba/auto,
     see :mod:`repro.backends`) — an execution detail only, results are
-    bit-identical across backends.
+    bit-identical across backends.  The argument may also name a
+    resilience run (``zgb-rsm`` ...), a zoo scenario (``zgb``,
+    ``no-co`` ... — see ``scenarios``) or a scenario file
+    (``path/to/scenario.toml``); scenario runs accept ``--sweep`` and
+    the checkpoint/resume options.
+``scenarios [--check] [--gates [NAME ...]]``
+    List the shipped scenario zoo; ``--check`` preflight-lints every
+    shipped scenario file, ``--gates`` runs the declared acceptance
+    gates (lint, fingerprint, mean-field) — both CI gates.
 ``algorithms``
     Print the algorithm taxonomy table.
 ``bench [--engines ...] [--backend NAME] [--json] [--check FILE ...]``
@@ -38,17 +46,24 @@ import sys
 def _cmd_list(_args) -> int:
     import repro.experiments as experiments
     from repro.resilience.runs import RUNS
+    from repro.scenario import scenario_registry
 
     print("experiments (python -m repro run <id>):")
     for key in sorted(experiments.REGISTRY):
         module, _ = experiments.REGISTRY[key]
-        doc = (module.__doc__ or "").strip().splitlines()[0]
+        # docstring-less modules get an empty summary, not a crash
+        doc_lines = (module.__doc__ or "").strip().splitlines()
+        doc = doc_lines[0] if doc_lines else ""
         print(f"  {key:<22s} {doc}")
     print()
     print("resilience runs (checkpoint/resume-capable):")
     for key in sorted(RUNS):
         _, doc = RUNS[key]
         print(f"  {key:<22s} {doc}")
+    print()
+    print("scenarios (declarative TOML; details: python -m repro scenarios):")
+    for key, spec in sorted(scenario_registry().items()):
+        print(f"  {key:<22s} {spec.description}")
     return 0
 
 
@@ -77,12 +92,20 @@ def _cmd_run_inner(args, experiments, RUNS, run_resilience) -> int:
 
     if args.experiment in RUNS:
         from repro.resilience.checkpoint import ResilienceError
+        from repro.resilience.runs import DEFAULT_UNTIL
 
+        if args.sweep:
+            print(
+                f"--sweep only applies to scenario runs, not resilience run "
+                f"{args.experiment!r}",
+                file=sys.stderr,
+            )
+            return 2
         try:
             return run_resilience(
                 args.experiment,
-                seed=args.seed,
-                until=args.until,
+                seed=args.seed if args.seed is not None else 0,
+                until=args.until if args.until is not None else DEFAULT_UNTIL,
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_seconds=args.checkpoint_seconds,
@@ -91,10 +114,53 @@ def _cmd_run_inner(args, experiments, RUNS, run_resilience) -> int:
         except ResilienceError as exc:
             print(exc, file=sys.stderr)
             return 2
-    if args.resume is not None or args.checkpoint_dir is not None:
+
+    from repro.scenario import ScenarioError, is_scenario_ref
+
+    if is_scenario_ref(args.experiment):
+        from repro.lint.engine import LintError
+        from repro.resilience.checkpoint import ResilienceError
+        from repro.scenario import find_scenario, run_scenario
+
+        try:
+            spec = find_scenario(args.experiment)
+            return run_scenario(
+                spec,
+                seed=args.seed,
+                until=args.until,
+                backend=args.backend,  # explicit CLI choice wins over the spec
+                sweep=args.sweep,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_seconds=args.checkpoint_seconds,
+                resume=args.resume,
+            )
+        except (ScenarioError, LintError, ResilienceError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+
+    # all four checkpoint/resume flags are meaningless for the report
+    # experiments — reject each of them consistently instead of
+    # silently ignoring the cadence flags
+    checkpoint_flags = {
+        "--checkpoint-dir": args.checkpoint_dir,
+        "--checkpoint-every": args.checkpoint_every,
+        "--checkpoint-seconds": args.checkpoint_seconds,
+        "--resume": args.resume,
+    }
+    offending = sorted(k for k, v in checkpoint_flags.items() if v is not None)
+    if offending:
         print(
-            f"checkpoint/resume options only apply to resilience runs "
-            f"({', '.join(sorted(RUNS))}), not experiment {args.experiment!r}",
+            f"{', '.join(offending)} only apply to resilience runs "
+            f"({', '.join(sorted(RUNS))}) and scenario runs, not experiment "
+            f"{args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sweep:
+        print(
+            f"--sweep only applies to scenario runs, not experiment "
+            f"{args.experiment!r}",
             file=sys.stderr,
         )
         return 2
@@ -106,7 +172,9 @@ def _cmd_run_inner(args, experiments, RUNS, run_resilience) -> int:
             with use_metrics(collector):
                 print(experiments.report(args.experiment))
         except KeyError as exc:
-            print(exc, file=sys.stderr)
+            # exc.args[0] is the clean message; printing the KeyError
+            # itself would wrap it in stray quotes (repr)
+            print(exc.args[0], file=sys.stderr)
             return 2
         print()
         print(format_metrics(collector.snapshot()))
@@ -114,8 +182,58 @@ def _cmd_run_inner(args, experiments, RUNS, run_resilience) -> int:
     try:
         print(experiments.report(args.experiment))
     except KeyError as exc:
-        print(exc, file=sys.stderr)
+        print(exc.args[0], file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.lint.engine import LintError
+    from repro.scenario import (
+        ScenarioError,
+        lint_scenario,
+        run_gates,
+        scenario_registry,
+    )
+
+    registry = scenario_registry()
+    if args.check:
+        status = 0
+        for name in sorted(registry):
+            spec = registry[name]
+            try:
+                lint_scenario(spec)
+            except (LintError, ScenarioError) as exc:
+                msg = exc.args[0] if exc.args else exc
+                print(f"FAIL {name}: {msg}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"ok   {name} ({spec.source}) digest {spec.short_digest()}")
+        return status
+    if args.gates is not None:
+        names = args.gates or sorted(registry)
+        unknown = sorted(set(names) - set(registry))
+        if unknown:
+            print(
+                f"unknown scenario(s) {unknown}; known: {sorted(registry)}",
+                file=sys.stderr,
+            )
+            return 2
+        status = 0
+        for name in names:
+            for result in run_gates(registry[name]):
+                print(f"{name:<20s} {result.render()}")
+                if not result.ok:
+                    status = 1
+        return status
+    print("scenarios (python -m repro run <name|file.toml>):")
+    for name in sorted(registry):
+        spec = registry[name]
+        lattice = "x".join(str(s) for s in spec.lattice_shape)
+        print(
+            f"  {name:<20s} {spec.engine.kind:<15s} {lattice:<8s} "
+            f"digest {spec.short_digest()}  {spec.description}"
+        )
     return 0
 
 
@@ -169,12 +287,19 @@ def main(argv: list[str] | None = None) -> int:
         help="collect and print run metrics (counters/gauges/histograms)",
     )
     p_run.add_argument(
-        "--until", type=float, default=5.0,
-        help="simulated-time horizon (resilience runs only, default 5)",
+        "--until", type=float, default=None,
+        help="simulated-time horizon (resilience/scenario runs only; "
+        "default 5, or the scenario's declared horizon)",
     )
     p_run.add_argument(
-        "--seed", type=int, default=0,
-        help="engine seed (resilience runs only, default 0)",
+        "--seed", type=int, default=None,
+        help="engine seed (resilience/scenario runs only; default 0, or "
+        "the scenario's declared seed)",
+    )
+    p_run.add_argument(
+        "--sweep", action="store_true",
+        help="run the scenario's declared [sweep] grid instead of the "
+        "base configuration (scenario runs only)",
     )
     p_run.add_argument(
         "--checkpoint-dir", metavar="DIR",
@@ -202,6 +327,23 @@ def main(argv: list[str] | None = None) -> int:
         "another",
     )
     p_run.set_defaults(fn=_cmd_run)
+    p_scenarios = sub.add_parser(
+        "scenarios", help="list/lint/gate the declarative scenario zoo"
+    )
+    p_scenarios.add_argument(
+        "--check",
+        action="store_true",
+        help="preflight-lint every shipped scenario file (the CI gate)",
+    )
+    p_scenarios.add_argument(
+        "--gates",
+        nargs="*",
+        metavar="NAME",
+        default=None,
+        help="run the declared acceptance gates (lint, fingerprint, "
+        "mean-field) for the named scenarios (default: all)",
+    )
+    p_scenarios.set_defaults(fn=_cmd_scenarios)
     sub.add_parser("algorithms", help="print the algorithm taxonomy").set_defaults(
         fn=_cmd_algorithms
     )

@@ -47,6 +47,7 @@ a lattice whose sides are *not* multiples of the tiling modulus.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Sequence
 
 from ..core.model import Model
@@ -187,6 +188,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="run only the protocol verifier over the executor/resilience "
         "layer (SR070-SR078)",
     )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="preflight every shipped scenario file (model sanity + "
+        "partition proof for parallel engine kinds)",
+    )
     all_codes = code_table()
     parser.add_argument(
         "--codes",
@@ -214,7 +221,7 @@ def run(args: argparse.Namespace) -> int:
             print(f"{code}  {sev:<7s} {slug:<30s} {desc}")
         return 0
 
-    if args.kernels or args.native or args.protocol:
+    if args.kernels or args.native or args.protocol or args.scenarios:
         report = LintReport()
         if args.kernels:
             from .kernel_lint import lint_kernels
@@ -228,6 +235,33 @@ def run(args: argparse.Namespace) -> int:
             from .protocol import lint_protocol
 
             report.extend(lint_protocol())
+        if args.scenarios:
+            from ..scenario import ScenarioError, lint_scenario, scenario_registry
+            from .engine import LintError
+
+            try:
+                registry = scenario_registry()
+            except ScenarioError as exc:
+                print(exc.args[0] if exc.args else exc, file=sys.stderr)
+                return 2
+            for name in sorted(registry):
+                spec = registry[name]
+                try:
+                    scenario_report = lint_scenario(spec)
+                except LintError as exc:
+                    report.extend(exc.report)
+                except ScenarioError as exc:
+                    print(
+                        f"scenario {name}: {exc.args[0] if exc.args else exc}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                else:
+                    report.extend(scenario_report)
+                    report.note(
+                        f"scenario {name!r} ({spec.source}): preflight clean, "
+                        f"digest {spec.short_digest()}"
+                    )
         if args.json:
             print(report.to_json())
         else:

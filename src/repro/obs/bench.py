@@ -32,7 +32,14 @@ from .emit import (
 )
 from .metrics import MetricsCollector
 
-__all__ = ["ENGINES", "run_engine_bench", "run_bench", "add_bench_arguments", "run"]
+__all__ = [
+    "ENGINES",
+    "run_engine_bench",
+    "run_scenario_bench",
+    "run_bench",
+    "add_bench_arguments",
+    "run",
+]
 
 #: default output directory for BENCH_*.json files (repo-relative)
 DEFAULT_OUT = Path("benchmarks/reports")
@@ -234,6 +241,60 @@ def run_engine_bench(
     )
 
 
+def run_scenario_bench(
+    ref: str,
+    *,
+    backend: str | None = None,
+) -> dict:
+    """One scenario reference run -> one ``repro.bench/1`` record.
+
+    The record's ``extra["scenario"]`` block carries the scenario's
+    content digest plus the run's params and seed — the exact cache key
+    ``(digest, params, seed)`` under which a completed deterministic
+    run is reusable.  Lattice, seed and horizon come from the scenario
+    itself; ``backend`` (CLI ``--backend``) overrides its declared one.
+    """
+    from ..scenario import build_engine, find_scenario, provenance
+
+    spec = find_scenario(ref)
+    collector = MetricsCollector()
+    wall0 = time.perf_counter()
+    with collector.phase("bench"):
+        engine = build_engine(spec, metrics=collector, backend=backend)
+        result = engine.run(until=spec.run.until)
+    wall = time.perf_counter() - wall0
+    trials = getattr(result, "total_trials", None)
+    if trials is None:
+        trials = int(result.n_trials)
+    trials = int(trials)
+    timings = {
+        "wall_s": wall,
+        "run_wall_s": float(result.wall_time),
+        "trials": float(trials),
+        "trials_per_s": trials / result.wall_time if result.wall_time > 0 else 0.0,
+    }
+    extra: dict = {
+        "until": spec.run.until,
+        "backend": engine.backend.name,
+        "scenario": provenance(spec),
+        "lint": dict(_native_lint_verdict()),
+        "protocol_lint": dict(_protocol_lint_verdict()),
+    }
+    name = f"scenario-{spec.name}"
+    if engine.backend.name != "numpy":
+        name = f"{name}-{engine.backend.name}"
+    return bench_record(
+        name,
+        algorithm=result.algorithm,
+        model=result.model_name,
+        lattice_shape=result.lattice_shape,
+        seed=spec.run.seed,
+        timings=timings,
+        metrics=collector.snapshot(),
+        extra=extra,
+    )
+
+
 def run_bench(
     engines: tuple[str, ...] = DEFAULT_ENGINES,
     *,
@@ -292,6 +353,14 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="REF",
+        help="bench a declarative scenario (zoo name or .toml path) "
+        "instead of the engine reference runs; the record's provenance "
+        "carries the scenario content digest, params and seed",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print records as JSON and write BENCH_<engine>.json files to --out",
@@ -326,18 +395,6 @@ def run(args: argparse.Namespace) -> int:
     """Execute the bench CLI; returns the exit code."""
     if args.check:
         return _check_files(args.check)
-    names = (
-        tuple(sorted(ENGINES))
-        if args.engines.strip() == "all"
-        else tuple(e.strip() for e in args.engines.split(",") if e.strip())
-    )
-    unknown = [e for e in names if e not in ENGINES]
-    if unknown:
-        print(
-            f"unknown engine(s) {unknown}; known: {sorted(ENGINES)}",
-            file=sys.stderr,
-        )
-        return 2
     if args.backend is not None and args.backend != "auto":
         from ..backends import backend_names
 
@@ -348,14 +405,36 @@ def run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    records = run_bench(
-        names,
-        side=args.side,
-        until=args.until,
-        seed=args.seed,
-        n_replicas=args.replicas,
-        backend=args.backend,
-    )
+    if args.scenario is not None:
+        from ..lint.engine import LintError
+        from ..scenario import ScenarioError
+
+        try:
+            records = [run_scenario_bench(args.scenario, backend=args.backend)]
+        except (ScenarioError, LintError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+    else:
+        names = (
+            tuple(sorted(ENGINES))
+            if args.engines.strip() == "all"
+            else tuple(e.strip() for e in args.engines.split(",") if e.strip())
+        )
+        unknown = [e for e in names if e not in ENGINES]
+        if unknown:
+            print(
+                f"unknown engine(s) {unknown}; known: {sorted(ENGINES)}",
+                file=sys.stderr,
+            )
+            return 2
+        records = run_bench(
+            names,
+            side=args.side,
+            until=args.until,
+            seed=args.seed,
+            n_replicas=args.replicas,
+            backend=args.backend,
+        )
     if args.json:
         for record in records:
             path = write_bench_json(args.out, record)

@@ -1,0 +1,81 @@
+"""The scenario registry: shipped zoo entries plus ad-hoc files.
+
+Zoo scenarios live as TOML files in ``repro/scenario/zoo/`` and ship
+with the package; :func:`scenario_registry` loads and validates every
+one (fail-closed: a broken shipped scenario is an import-time error of
+the registry, not a latent surprise).  :func:`find_scenario` is the
+CLI's resolution rule: an argument ending in ``.toml`` is a file path,
+anything else is looked up in the registry by its ``scenario.name``.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from pathlib import Path
+
+from .spec import ScenarioError, ScenarioSpec, load_scenario, loads_scenario
+
+__all__ = [
+    "scenario_registry",
+    "scenario_names",
+    "get_scenario",
+    "find_scenario",
+    "is_scenario_ref",
+]
+
+_registry_cache: dict[str, ScenarioSpec] | None = None
+
+
+def _zoo_files():
+    root = resources.files(__package__) / "zoo"
+    return sorted(
+        (entry for entry in root.iterdir() if entry.name.endswith(".toml")),
+        key=lambda e: e.name,
+    )
+
+
+def scenario_registry(refresh: bool = False) -> dict[str, ScenarioSpec]:
+    """Name -> validated spec for every shipped zoo scenario."""
+    global _registry_cache
+    if _registry_cache is None or refresh:
+        registry: dict[str, ScenarioSpec] = {}
+        for entry in _zoo_files():
+            spec = loads_scenario(entry.read_text(), source=f"zoo/{entry.name}")
+            if spec.name in registry:
+                raise ScenarioError(
+                    f"zoo/{entry.name}: duplicate scenario name {spec.name!r} "
+                    f"(also declared by {registry[spec.name].source})"
+                )
+            registry[spec.name] = spec
+        _registry_cache = registry
+    return _registry_cache
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of the shipped zoo scenarios."""
+    return sorted(scenario_registry())
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """One zoo scenario by name; raises :class:`ScenarioError` if unknown."""
+    registry = scenario_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; known: {sorted(registry)}"
+        ) from None
+
+
+def is_scenario_ref(arg: str) -> bool:
+    """Does a CLI ``run`` argument denote a scenario (file or zoo name)?"""
+    if arg.endswith(".toml"):
+        return True
+    return arg in scenario_registry()
+
+
+def find_scenario(arg: str) -> ScenarioSpec:
+    """Resolve a CLI argument to a validated spec (path or zoo name)."""
+    if arg.endswith(".toml"):
+        return load_scenario(Path(arg))
+    return get_scenario(arg)

@@ -1,0 +1,202 @@
+"""Execute scenarios: the backend of ``repro run <scenario>``.
+
+A scenario run prints, in order: a provenance header (scenario name,
+source, content digest), the run summary, and the machine-diffable
+``digest`` line in exactly the format of the resilience runs — so a
+scenario that reconstructs a Python-constructed configuration can be
+checked bit-identical by diffing two ``digest`` lines of stdout (the
+CI scenarios gate does this for ZGB).
+
+Sweeps (``--sweep``) expand the scenario's declared grids into the
+cartesian product and run every point, one ``sweep ... digest ...``
+line each; the scenario digest plus the printed override pairs make
+every line cache-keyable by ``(digest, params, seed)``.
+
+Checkpointing works exactly as for the named resilience runs: all
+engines a scenario can construct implement the versioned checkpoint
+protocol, so ``--checkpoint-dir``/``--resume`` apply unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from .compile import build_engine, lint_scenario
+from .spec import ScenarioSpec
+
+__all__ = ["provenance", "run_scenario", "format_overrides"]
+
+
+def provenance(
+    spec: ScenarioSpec,
+    *,
+    seed: int | None = None,
+    params: Mapping[str, Any] | None = None,
+) -> dict:
+    """The cache key of a scenario run: ``(digest, params, seed)``.
+
+    Stamped into run output and into ``repro bench`` records
+    (``extra["scenario"]``) so completed runs are reusable as cache
+    hits by anything that trusts determinism.
+    """
+    return {
+        "name": spec.name,
+        "source": spec.source,
+        "digest": spec.digest(),
+        "seed": spec.run.seed if seed is None else seed,
+        "params": dict(params or {}),
+    }
+
+
+def _split_overrides(
+    overrides: Mapping[str, Any],
+) -> tuple[dict[str, Any], dict[str, float], int | None, float | None]:
+    """One sweep point -> (params, rates, seed, until)."""
+    params: dict[str, Any] = {}
+    rates: dict[str, float] = {}
+    seed: int | None = None
+    until: float | None = None
+    for key, value in overrides.items():
+        if key == "seed":
+            seed = int(value)
+        elif key == "until":
+            until = float(value)
+        elif key.startswith("params."):
+            params[key[len("params."):]] = value
+        elif key.startswith("rates."):
+            rates[key[len("rates."):]] = float(value)
+    return params, rates, seed, until
+
+
+def format_overrides(overrides: Mapping[str, Any]) -> str:
+    """Render one sweep point as ``key=value`` pairs (stable order)."""
+    return " ".join(f"{k}={overrides[k]:g}" if isinstance(overrides[k], float)
+                    else f"{k}={overrides[k]}" for k in sorted(overrides))
+
+
+def _digest_line(engine) -> str:
+    from ..resilience.runs import run_digest, _engine_time
+
+    return (
+        f"digest {run_digest(engine)} t={_engine_time(engine):.17g} "
+        f"trials={int(np.sum(engine.n_trials))}"
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    seed: int | None = None,
+    until: float | None = None,
+    backend: str | None = None,
+    sweep: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_seconds: float | None = None,
+    resume: str | Path | None = None,
+    out=None,
+) -> int:
+    """Execute one scenario (or its sweep grid); returns the exit code."""
+    out = out if out is not None else sys.stdout
+    # fail closed before any trial: the lint preflight refuses what
+    # `repro lint` would flag (LintError propagates to the CLI)
+    lint_scenario(spec)
+    horizon = spec.run.until if until is None else until
+    print(
+        f"scenario {spec.name} ({spec.source}) digest {spec.short_digest()}",
+        file=out,
+    )
+
+    if sweep:
+        if checkpoint_dir is not None or resume is not None:
+            from .spec import ScenarioError
+
+            raise ScenarioError(
+                "--sweep does not combine with checkpoint/resume options"
+            )
+        if spec.sweep is None:
+            from .spec import ScenarioError
+
+            raise ScenarioError(
+                f"scenario {spec.name!r} declares no [sweep] table"
+            )
+        grid = spec.sweep.grid()
+        print(f"sweep: {len(grid)} point(s)", file=out)
+        for overrides in grid:
+            params, rates, o_seed, o_until = _split_overrides(overrides)
+            engine = build_engine(
+                spec,
+                seed=o_seed if o_seed is not None else seed,
+                params_override=params or None,
+                rates_override=rates or None,
+                backend=backend,
+            )
+            engine.run(until=o_until if o_until is not None else horizon)
+            label = format_overrides(overrides) or "(base)"
+            print(f"sweep {label} {_digest_line(engine)}", file=out)
+        return 0
+
+    engine = build_engine(spec, seed=seed, backend=backend)
+    print(
+        f"{spec.name}: engine {engine.algorithm}, "
+        f"lattice {'x'.join(str(s) for s in spec.lattice_shape)}, "
+        f"backend {engine.backend.name}",
+        file=out,
+    )
+
+    if resume is not None:
+        from ..resilience.runs import _resolve_resume
+
+        path = _resolve_resume(resume, checkpoint_dir)
+        engine.resume(path)
+        print(f"resumed from {path}", file=out)
+    from ..resilience.runs import _engine_time
+
+    if _engine_time(engine) >= horizon:
+        print(
+            f"nothing to do: t={_engine_time(engine):g} >= until={horizon:g}",
+            file=out,
+        )
+        print(_digest_line(engine), file=out)
+        return 0
+
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import (
+            Checkpointer,
+            CheckpointPolicy,
+            use_checkpoints,
+        )
+
+        if checkpoint_every is None and checkpoint_seconds is None:
+            checkpoint_every = 10
+        ckpt = Checkpointer(
+            Path(checkpoint_dir),
+            CheckpointPolicy(
+                every_steps=checkpoint_every, every_seconds=checkpoint_seconds
+            ),
+            tag=spec.name,
+        )
+        try:
+            with use_checkpoints(ckpt):
+                engine.run(until=horizon)
+        except KeyboardInterrupt as exc:
+            print(f"interrupted: {exc}", file=out)
+            print(_digest_line(engine), file=out)
+            return 130
+        ckpt.flush(engine)
+        if ckpt.last_path is not None:
+            print(f"last checkpoint: {ckpt.last_path}", file=out)
+    else:
+        engine.run(until=horizon)
+
+    print(
+        f"{spec.name}: t={_engine_time(engine):g}, "
+        f"trials={int(np.sum(engine.n_trials))}",
+        file=out,
+    )
+    print(_digest_line(engine), file=out)
+    return 0

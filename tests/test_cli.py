@@ -22,6 +22,53 @@ class TestCli:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_run_unknown_message_has_no_stray_quotes(self, capsys):
+        """Regression: the KeyError was printed as its repr, wrapping the
+        message in quotes (``"unknown experiment ..."``)."""
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("unknown experiment 'fig99'")
+        assert main(["run", "fig99", "--metrics"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("unknown experiment 'fig99'")
+
+    def test_list_survives_docstring_less_module(self, capsys, monkeypatch):
+        """Regression: a module with no docstring crashed ``repro list``
+        with IndexError on ``__doc__.splitlines()[0]``."""
+        import types
+
+        import repro.experiments as experiments
+
+        bare = types.ModuleType("bare")  # __doc__ is None
+        registry = dict(experiments.REGISTRY)
+        registry["bare1"] = (bare, lambda: "")
+        monkeypatch.setattr(experiments, "REGISTRY", registry)
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bare1" in out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--checkpoint-dir", "/tmp/x"],
+            ["--checkpoint-every", "5"],
+            ["--checkpoint-seconds", "1.5"],
+            ["--resume", "x.json"],
+        ],
+        ids=["dir", "every", "seconds", "resume"],
+    )
+    def test_checkpoint_flags_rejected_for_experiments(self, capsys, flags):
+        """Regression: the cadence flags were silently ignored while
+        ``--checkpoint-dir``/``--resume`` correctly exited 2 — all four
+        are rejected consistently now."""
+        assert main(["run", "table1", *flags]) == 2
+        err = capsys.readouterr().err
+        assert flags[0] in err and "only apply to resilience runs" in err
+
+    def test_sweep_rejected_for_experiments(self, capsys):
+        assert main(["run", "table1", "--sweep"]) == 2
+        assert "--sweep only applies to scenario runs" in capsys.readouterr().err
+
     def test_algorithms(self, capsys):
         assert main(["algorithms"]) == 0
         out = capsys.readouterr().out
