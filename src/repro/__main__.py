@@ -15,6 +15,14 @@ Commands
     ``no-co`` ... — see ``scenarios``) or a scenario file
     (``path/to/scenario.toml``); scenario runs accept ``--sweep`` and
     the checkpoint/resume options.
+``sweep <scenario>... [--jobs N] [--journal DIR] [--resume]``
+    Crash-safe batch orchestration of scenario sweeps: expand the
+    declared ``[sweep]`` grids into a job set, execute it on supervised
+    worker processes with per-job deadlines and a retry/backoff/
+    respawn/serial recovery ladder, and journal every state transition
+    write-ahead (``repro.jobs/1``) so a killed campaign resumes with
+    ``--resume`` — completed points are cache hits (see
+    :mod:`repro.jobs`).
 ``scenarios [--check] [--gates [NAME ...]]``
     List the shipped scenario zoo; ``--check`` preflight-lints every
     shipped scenario file, ``--gates`` runs the declared acceptance
@@ -243,6 +251,12 @@ def _cmd_bench(args) -> int:
     return run(args)
 
 
+def _cmd_sweep(args) -> int:
+    from repro.jobs.cli import run
+
+    return run(args)
+
+
 def _cmd_algorithms(_args) -> int:
     from repro.taxonomy import describe_all
 
@@ -327,6 +341,14 @@ def main(argv: list[str] | None = None) -> int:
         "another",
     )
     p_run.set_defaults(fn=_cmd_run)
+    from repro.jobs.cli import add_sweep_arguments
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="crash-safe batch sweeps: journaled jobs on supervised workers",
+    )
+    add_sweep_arguments(p_sweep)
+    p_sweep.set_defaults(fn=_cmd_sweep)
     p_scenarios = sub.add_parser(
         "scenarios", help="list/lint/gate the declarative scenario zoo"
     )

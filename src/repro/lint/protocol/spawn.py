@@ -10,11 +10,17 @@ the worker inherits a copy of the master's global at fork time, so a
 master-side mutation after the fork is invisible to workers and the
 parallel run drifts from the serial one without any exception.
 
+The same discipline governs bare ``Process(target=..., args=...)``
+constructions (the supervised job-worker slots of :mod:`repro.jobs`):
+the ``target`` is the worker entrypoint, ``args`` its only inbound
+channel, and both must survive pickling under ``spawn``.
+
 The pass flags, per SR077:
 
-* a pool ``initializer`` that is not a module-level function (bound
-  methods and lambdas are unpicklable under ``spawn``);
-* ``initargs`` elements that ship live resources: a bare
+* a pool ``initializer`` — or a process ``target`` — that is not a
+  module-level function (bound methods and lambdas are unpicklable
+  under ``spawn``);
+* ``initargs``/``args`` elements that ship live resources: a bare
   ``self.<attr>`` whose attribute names a known-unpicklable resource
   (backends carry compiled-kernel handles; pools and shared-memory
   blocks are never picklable).  Chains like ``self._shm.name`` or
@@ -123,14 +129,14 @@ def _local_names(fn: ast.FunctionDef) -> set[str]:
     return names
 
 
-def _pool_calls(tree: ast.Module) -> list[ast.Call]:
-    """Every ``Pool(...)``-shaped constructor call in the module."""
+def _ctor_calls(tree: ast.Module, class_name: str) -> list[ast.Call]:
+    """Every ``<class_name>(...)``-shaped constructor call in the module."""
     out = []
     for call in walk_calls(tree):
         name = attr_chain(call.func) or (
             call.func.id if isinstance(call.func, ast.Name) else ""
         )
-        if name and name.split(".")[-1] == "Pool":
+        if name and name.split(".")[-1] == class_name:
             out.append(call)
     return out
 
@@ -185,65 +191,78 @@ def audit_spawn(
     module_functions = func_defs(tree)
     worker_names: set[str] = set()
 
+    def check_entrypoint(v: ast.expr, role: str) -> None:
+        """``initializer=``/``target=`` must be a module-level function."""
+        if isinstance(v, ast.Name):
+            if v.id in module_functions:
+                worker_names.add(v.id)
+            else:
+                diag(
+                    "SR077",
+                    f"{role} {v.id!r} is not a module-level function — it "
+                    f"cannot be pickled under the spawn start method",
+                    v,
+                    entrypoint=v.id,
+                )
+        elif v is not None and not (
+            isinstance(v, ast.Constant) and v.value is None
+        ):
+            diag(
+                "SR077",
+                f"{role} is not a module-level function reference — "
+                f"lambdas and bound methods cannot be pickled under the "
+                f"spawn start method",
+                v,
+            )
+
+    def check_shipped(value: ast.expr, role: str) -> None:
+        """``initargs=``/``args=`` elements must pickle worker-side."""
+        elts = (
+            value.elts if isinstance(value, (ast.Tuple, ast.List)) else []
+        )
+        for elt in elts:
+            if isinstance(elt, ast.Lambda):
+                diag(
+                    "SR077",
+                    f"{role} ships a lambda — unpicklable under the spawn "
+                    f"start method",
+                    elt,
+                )
+                continue
+            chain = attr_chain(elt)
+            if (
+                chain is not None
+                and chain.startswith("self.")
+                and chain.count(".") == 1
+                and chain.split(".")[1] in unpicklable_attrs
+            ):
+                diag(
+                    "SR077",
+                    f"{role} ships {chain} — a live "
+                    f"resource/compiled-handle object; pass a picklable "
+                    f"identifier (e.g. {chain}.name) and re-resolve it "
+                    f"worker-side",
+                    elt,
+                    attr=chain,
+                )
+
     # -- initializer + initargs of every Pool() construction -----------
-    pool_calls = _pool_calls(tree)
+    pool_calls = _ctor_calls(tree, "Pool")
     for call in pool_calls:
         for kw in call.keywords:
             if kw.arg == "initializer":
-                v = kw.value
-                if isinstance(v, ast.Name):
-                    if v.id in module_functions:
-                        worker_names.add(v.id)
-                    else:
-                        diag(
-                            "SR077",
-                            f"pool initializer {v.id!r} is not a "
-                            f"module-level function — it cannot be pickled "
-                            f"under the spawn start method",
-                            v,
-                            initializer=v.id,
-                        )
-                elif v is not None and not (
-                    isinstance(v, ast.Constant) and v.value is None
-                ):
-                    diag(
-                        "SR077",
-                        "pool initializer is not a module-level function "
-                        "reference — lambdas and bound methods cannot be "
-                        "pickled under the spawn start method",
-                        v,
-                    )
+                check_entrypoint(kw.value, "pool initializer")
             elif kw.arg == "initargs":
-                elts = (
-                    kw.value.elts
-                    if isinstance(kw.value, (ast.Tuple, ast.List))
-                    else []
-                )
-                for elt in elts:
-                    if isinstance(elt, ast.Lambda):
-                        diag(
-                            "SR077",
-                            "initargs ships a lambda — unpicklable under "
-                            "the spawn start method",
-                            elt,
-                        )
-                        continue
-                    chain = attr_chain(elt)
-                    if (
-                        chain is not None
-                        and chain.startswith("self.")
-                        and chain.count(".") == 1
-                        and chain.split(".")[1] in unpicklable_attrs
-                    ):
-                        diag(
-                            "SR077",
-                            f"initargs ships {chain} — a live "
-                            f"resource/compiled-handle object; pass a "
-                            f"picklable identifier (e.g. {chain}.name) and "
-                            f"re-resolve it worker-side",
-                            elt,
-                            attr=chain,
-                        )
+                check_shipped(kw.value, "initargs")
+
+    # -- target + args of every Process() construction -----------------
+    process_calls = _ctor_calls(tree, "Process")
+    for call in process_calls:
+        for kw in call.keywords:
+            if kw.arg == "target":
+                check_entrypoint(kw.value, "process target")
+            elif kw.arg == "args":
+                check_shipped(kw.value, "process args")
 
     # -- functions dispatched to workers -------------------------------
     for name, call in _dispatch_targets(tree):
@@ -291,9 +310,10 @@ def audit_spawn(
                 name=node.id,
             )
 
-    if report.ok() and (pool_calls or worker_names):
+    if report.ok() and (pool_calls or process_calls or worker_names):
         report.note(
-            f"protocol spawn: {len(pool_calls)} pool construction(s) and "
+            f"protocol spawn: {len(pool_calls)} pool and "
+            f"{len(process_calls)} process construction(s), "
             f"{len(sorted(worker_names))} worker function(s) "
             f"spawn-safe ({', '.join(sorted(worker_names)) or 'none'})"
         )

@@ -59,10 +59,16 @@ ROUNDTRIP_CLASSES = (
 PAIRING_MODULES = (
     "repro.resilience.checkpoint",
     "repro.backends.registry",
+    "repro.jobs.orchestrator",
+    "repro.jobs.journal",
 )
 
 #: the module holding the executor + worker functions
 EXECUTOR_MODULE = "repro.parallel.executor"
+
+#: modules whose worker entrypoints get the spawn-safety pass (the
+#: executor additionally gets typestate + ladder)
+SPAWN_MODULES = (EXECUTOR_MODULE, "repro.jobs.pool")
 
 
 def _rel(path: str) -> str:
@@ -105,6 +111,14 @@ def lint_protocol() -> LintReport:
         source, path = got
         report.extend(audit_shm_lifecycle(source, path))
         report.extend(audit_ladder(source, path))
+
+    # -- worker entrypoints: spawn safety ------------------------------
+    for dotted in SPAWN_MODULES:
+        got = _module_source(dotted)
+        if isinstance(got, Diagnostic):
+            report.add(got)
+            continue
+        source, path = got
         report.extend(audit_spawn(source, path))
 
     # -- resilience/backend layers: pairing ----------------------------

@@ -20,7 +20,12 @@ Hook points (wired by the engines):
 ``on_recovery(kind, detail)``
     whenever the fault-tolerant executor walks a rung of its recovery
     ladder (chunk retry, pool respawn, serial fallback) — recorded
-    with ``sim_time = -1`` since recovery happens between trials.
+    with ``sim_time = -1`` since recovery happens between trials;
+``on_job(key, status, detail)``
+    whenever the batch orchestrator (:mod:`repro.jobs`) moves a job
+    through its state machine (submit / start / done / fail / degrade /
+    drain) — also ``sim_time = -1``: campaign bookkeeping has no
+    simulated clock.
 
 Events are recorded as plain tuples; :meth:`Tracer.to_records` renders
 them JSON-ready for the :func:`repro.obs.emit.append_jsonl` emitter.
@@ -115,6 +120,17 @@ class Tracer:
             ("recovery", time.perf_counter(), -1.0, {"recovery": kind, **(detail or {})})
         )
 
+    def on_job(self, key: str, status: str, detail: dict | None = None) -> None:
+        """A batch-orchestrator job changed state (see repro.jobs)."""
+        self.events.append(
+            (
+                "job",
+                time.perf_counter(),
+                -1.0,
+                {"key": key, "status": status, **(detail or {})},
+            )
+        )
+
     # -- export --------------------------------------------------------
     def to_records(self) -> list[dict]:
         """Spans + events as JSON-ready dicts (for the jsonl emitter)."""
@@ -151,6 +167,9 @@ class NullTracer(Tracer):
         """No-op."""
 
     def on_recovery(self, kind: str, detail: dict | None = None) -> None:
+        """No-op."""
+
+    def on_job(self, key: str, status: str, detail: dict | None = None) -> None:
         """No-op."""
 
     def to_records(self) -> list[dict]:

@@ -1,9 +1,9 @@
 """Deterministic chaos harness: seeded fault injection for recovery paths.
 
 Fault tolerance that is never exercised is a hope, not a property.
-This module injects the four failure modes the resilience layer claims
-to survive — reproducibly, so every recovery path runs in the test
-suite on every commit:
+This module injects the failure modes the resilience and jobs layers
+claim to survive — reproducibly, so every recovery path runs in the
+test suite on every commit:
 
 ``kill-worker``
     A pool worker SIGKILLs itself at the start of its slice, mid-chunk
@@ -16,7 +16,16 @@ suite on every commit:
     crash or bad disk after the atomic rename);
 ``fail-emit``
     the checkpoint write raises ``OSError`` before touching the file
-    (disk full / permissions at emit time).
+    (disk full / permissions at emit time);
+``kill-job``
+    a batch-orchestrator worker SIGKILLs itself before touching any
+    state of its assigned job (a node death mid-campaign);
+``stall-job``
+    a job worker sleeps past the orchestrator's per-job deadline
+    before doing any work (a wedged job);
+``corrupt-journal``
+    the just-appended journal record is truncated or byte-flipped —
+    the torn-tail write a crash mid-append produces.
 
 Determinism contract: a :class:`ChaosMonkey` fires a fault when the
 *poll counter* of the fault's channel reaches ``FaultSpec.at`` — the
@@ -27,8 +36,11 @@ replays the identical failure scenario every time.
 
 Wiring: pass the monkey as ``chaos=`` to
 :class:`repro.parallel.executor.ParallelChunkExecutor` (channel
-``"chunk"``) and/or :class:`repro.resilience.checkpoint.Checkpointer`
-(channels ``"checkpoint"`` and ``"emit"``).
+``"chunk"``), :class:`repro.resilience.checkpoint.Checkpointer`
+(channels ``"checkpoint"`` and ``"emit"``), and/or
+:class:`repro.jobs.orchestrator.JobOrchestrator` (channels ``"job"``
+and ``"journal"``; the CLI spelling is ``repro sweep --chaos
+kill-job@3``).
 """
 
 from __future__ import annotations
@@ -46,6 +58,9 @@ CHAOS_KINDS: dict[str, str] = {
     "delay-slice": "chunk",
     "corrupt-checkpoint": "checkpoint",
     "fail-emit": "emit",
+    "kill-job": "job",
+    "stall-job": "job",
+    "corrupt-journal": "journal",
 }
 
 
@@ -119,18 +134,41 @@ class ChaosMonkey:
         """True when every scheduled fault has been delivered."""
         return len(self._delivered) == len(self.faults)
 
-    def corrupt_file(self, path: str | Path, mode: str = "truncate") -> None:
-        """Damage a file deterministically (truncate half / flip a byte)."""
+    def corrupt_file(
+        self,
+        path: str | Path,
+        mode: str = "truncate",
+        tail: int | None = None,
+    ) -> None:
+        """Damage a file deterministically (truncate / flip a byte).
+
+        With ``tail=N`` the damage is confined to the file's last ``N``
+        bytes — the shape of a *torn write*, where only the record
+        being appended when the crash hit can be incomplete.  The jobs
+        layer passes the final journal line's length here, so
+        ``corrupt-journal`` produces exactly the failure the torn-tail
+        recovery path claims to survive.  Without ``tail`` the whole
+        file is fair game (the checkpoint-corruption behaviour,
+        draw-for-draw identical to previous releases).
+        """
         path = Path(path)
         data = path.read_bytes()
         if not data:
             return
+        start = 0 if tail is None else max(0, len(data) - tail)
         if mode == "truncate":
             # keep a non-empty prefix so the damage is a *plausible*
             # partial write, not an obviously empty file
-            keep = max(1, int(self.rng.integers(1, max(2, len(data)))))
-            path.write_bytes(data[: min(keep, len(data) - 1)])
+            if tail is None:
+                keep = max(1, int(self.rng.integers(1, max(2, len(data)))))
+                path.write_bytes(data[: min(keep, len(data) - 1)])
+            else:
+                # cut inside the tail region: at least one tail byte
+                # survives, at least one is lost
+                lo = min(start + 1, len(data) - 1)
+                keep = int(self.rng.integers(lo, len(data)))
+                path.write_bytes(data[:keep])
         else:  # flip
-            pos = int(self.rng.integers(0, len(data)))
+            pos = int(self.rng.integers(start, len(data)))
             flipped = bytes([data[pos] ^ 0xFF])
             path.write_bytes(data[:pos] + flipped + data[pos + 1 :])

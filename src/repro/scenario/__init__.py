@@ -45,7 +45,7 @@ from .registry import (
     scenario_names,
     scenario_registry,
 )
-from .runner import provenance, run_scenario
+from .runner import format_overrides, provenance, run_scenario, run_sweep_point
 from .spec import (
     ENGINE_KINDS,
     PARALLEL_KINDS,
@@ -78,4 +78,6 @@ __all__ = [
     "coverages_after",
     "provenance",
     "run_scenario",
+    "run_sweep_point",
+    "format_overrides",
 ]

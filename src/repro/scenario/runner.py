@@ -9,12 +9,20 @@ CI scenarios gate does this for ZGB).
 
 Sweeps (``--sweep``) expand the scenario's declared grids into the
 cartesian product and run every point, one ``sweep ... digest ...``
-line each; the scenario digest plus the printed override pairs make
-every line cache-keyable by ``(digest, params, seed)``.
+line each (flushed as produced, so piped campaigns show progress);
+the scenario digest plus the printed override pairs make every line
+cache-keyable by ``(digest, params, seed)``.  The single-point
+executor, :func:`run_sweep_point`, is shared with the batch
+orchestrator (:mod:`repro.jobs`) — a job worker's digest line is
+bit-identical to the serial loop's because both are this function.
 
 Checkpointing works exactly as for the named resilience runs: all
 engines a scenario can construct implement the versioned checkpoint
-protocol, so ``--checkpoint-dir``/``--resume`` apply unchanged.
+protocol, so ``--checkpoint-dir``/``--resume`` apply unchanged.  Under
+``--sweep``, ``--checkpoint-dir`` routes each grid point to its own
+``<dir>/<jobkey>/`` subdirectory (the same job keys the orchestrator
+uses); only ``--resume`` stays rejected there — resuming a sweep needs
+the write-ahead journal, i.e. ``repro sweep --resume``.
 """
 
 from __future__ import annotations
@@ -28,7 +36,12 @@ import numpy as np
 from .compile import build_engine, lint_scenario
 from .spec import ScenarioSpec
 
-__all__ = ["provenance", "run_scenario", "format_overrides"]
+__all__ = [
+    "provenance",
+    "run_scenario",
+    "run_sweep_point",
+    "format_overrides",
+]
 
 
 def provenance(
@@ -87,6 +100,63 @@ def _digest_line(engine) -> str:
     )
 
 
+def run_sweep_point(
+    spec: ScenarioSpec,
+    overrides: Mapping[str, Any],
+    *,
+    seed: int | None = None,
+    until: float | None = None,
+    backend: str | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_seconds: float | None = None,
+) -> str:
+    """Execute one sweep grid point; returns its ``sweep ...`` output line.
+
+    The single source of truth for what one point *is*: the serial
+    sweep loop, the job workers and the orchestrator's serial rung all
+    call this function, which is why their digest lines are
+    bit-identical and a journaled completion can stand in for a re-run.
+    ``seed``/``until`` are fallbacks — an override in the grid point
+    wins, exactly as in the serial loop.
+    """
+    params, rates, o_seed, o_until = _split_overrides(overrides)
+    engine = build_engine(
+        spec,
+        seed=o_seed if o_seed is not None else seed,
+        params_override=params or None,
+        rates_override=rates or None,
+        backend=backend,
+    )
+    horizon = spec.run.until if until is None else until
+    run_until = o_until if o_until is not None else horizon
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import (
+            Checkpointer,
+            CheckpointPolicy,
+            use_checkpoints,
+        )
+
+        if checkpoint_every is None and checkpoint_seconds is None:
+            checkpoint_every = 10
+        ckpt = Checkpointer(
+            Path(checkpoint_dir),
+            CheckpointPolicy(
+                every_steps=checkpoint_every, every_seconds=checkpoint_seconds
+            ),
+            tag=spec.name,
+        )
+        # signals stay with the caller: the orchestrator (or the serial
+        # sweep loop) owns interrupt semantics, not an individual point
+        with use_checkpoints(ckpt, signals=False):
+            engine.run(until=run_until)
+        ckpt.flush(engine)
+    else:
+        engine.run(until=run_until)
+    label = format_overrides(overrides) or "(base)"
+    return f"sweep {label} {_digest_line(engine)}"
+
+
 def run_scenario(
     spec: ScenarioSpec,
     *,
@@ -112,11 +182,13 @@ def run_scenario(
     )
 
     if sweep:
-        if checkpoint_dir is not None or resume is not None:
+        if resume is not None:
             from .spec import ScenarioError
 
             raise ScenarioError(
-                "--sweep does not combine with checkpoint/resume options"
+                "--sweep --resume needs the write-ahead journal: use "
+                "`repro sweep <scenario> --journal DIR --resume` (the "
+                "batch orchestrator) to resume a sweep campaign"
             )
         if spec.sweep is None:
             from .spec import ScenarioError
@@ -126,18 +198,31 @@ def run_scenario(
             )
         grid = spec.sweep.grid()
         print(f"sweep: {len(grid)} point(s)", file=out)
+        digest = spec.digest()
         for overrides in grid:
-            params, rates, o_seed, o_until = _split_overrides(overrides)
-            engine = build_engine(
+            point_ckpt_dir: Path | None = None
+            if checkpoint_dir is not None:
+                # one repro.ckpt/1 directory per grid point, keyed the
+                # same way the orchestrator keys its jobs — the two
+                # entry points share checkpoint trees
+                from ..jobs.journal import job_key
+
+                point_ckpt_dir = Path(checkpoint_dir) / job_key(
+                    digest, overrides
+                )
+            line = run_sweep_point(
                 spec,
-                seed=o_seed if o_seed is not None else seed,
-                params_override=params or None,
-                rates_override=rates or None,
+                overrides,
+                seed=seed,
+                until=until,
                 backend=backend,
+                checkpoint_dir=point_ckpt_dir,
+                checkpoint_every=checkpoint_every,
+                checkpoint_seconds=checkpoint_seconds,
             )
-            engine.run(until=o_until if o_until is not None else horizon)
-            label = format_overrides(overrides) or "(base)"
-            print(f"sweep {label} {_digest_line(engine)}", file=out)
+            # flush per line: long campaigns piped through tee/head must
+            # show progress, and journal/stdout orderings must agree
+            print(line, file=out, flush=True)
         return 0
 
     engine = build_engine(spec, seed=seed, backend=backend)

@@ -298,10 +298,20 @@ class TestRunner:
         with pytest.raises(ScenarioError, match="declares no \\[sweep\\] table"):
             run_scenario(loads_scenario(BASE), sweep=True)
 
-    def test_sweep_rejects_checkpointing(self, tmp_path):
+    def test_sweep_rejects_resume_naming_the_orchestrator(self, tmp_path):
         spec = loads_scenario(BASE + "\n[sweep]\nseed = [0, 1]\n")
-        with pytest.raises(ScenarioError, match="does not combine"):
-            run_scenario(spec, sweep=True, checkpoint_dir=tmp_path)
+        with pytest.raises(ScenarioError, match="repro sweep"):
+            run_scenario(spec, sweep=True, resume="", checkpoint_dir=tmp_path)
+
+    def test_sweep_routes_checkpoints_to_per_point_dirs(self, capsys, tmp_path):
+        from repro.jobs.journal import job_key
+
+        spec = loads_scenario(BASE + "\n[sweep]\nseed = [0, 1]\n")
+        assert run_scenario(spec, sweep=True, checkpoint_dir=tmp_path) == 0
+        digest = spec.digest()
+        for seed in (0, 1):
+            sub = tmp_path / job_key(digest, {"seed": seed})
+            assert list(sub.glob("ckpt_*.json"))
 
     def test_checkpoint_and_resume_roundtrip(self, capsys, tmp_path):
         spec = loads_scenario(BASE)
